@@ -1,0 +1,231 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the reconstructed evaluation (DESIGN.md §4) at reduced scale — run
+// `go test -bench=. -benchmem` here, or `go run ./cmd/experiments` for the
+// full-size tables. Micro-benchmarks for the per-tuple hot paths follow
+// the experiment benches.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/join"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// benchScale keeps each experiment iteration in the hundreds of
+// milliseconds; the printed tables still show the qualitative shape.
+const benchScale = exp.Scale(0.05)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var chosen *exp.Experiment
+	for _, e := range exp.All() {
+		if e.ID == id || e.ID == id+"+R2" || id == "R2" && e.ID == "R1+R2" {
+			e := e
+			chosen = &e
+			break
+		}
+	}
+	if chosen == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := chosen.Run(benchScale)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkR1LatencyVsQuality regenerates R1 (figure: mean latency vs.
+// quality bound, AQ-K-slack against all baselines).
+func BenchmarkR1LatencyVsQuality(b *testing.B) { runExperiment(b, "R1") }
+
+// BenchmarkR2Compliance regenerates R2 (figure: requested vs. achieved
+// error). It shares R1's executions.
+func BenchmarkR2Compliance(b *testing.B) { runExperiment(b, "R2") }
+
+// BenchmarkR3Adaptation regenerates R3 (figure: K(t) adaptation trace
+// through a delay step).
+func BenchmarkR3Adaptation(b *testing.B) { runExperiment(b, "R3") }
+
+// BenchmarkR4Aggregates regenerates R4 (table: aggregate-function
+// coverage).
+func BenchmarkR4Aggregates(b *testing.B) { runExperiment(b, "R4") }
+
+// BenchmarkR5DelayModels regenerates R5 (figure: delay-distribution
+// sensitivity, including the discrete-event network simulation).
+func BenchmarkR5DelayModels(b *testing.B) { runExperiment(b, "R5") }
+
+// BenchmarkR6JoinRecall regenerates R6 (figure: join recall vs. latency).
+func BenchmarkR6JoinRecall(b *testing.B) { runExperiment(b, "R6") }
+
+// BenchmarkR7Throughput regenerates R7 (table: disorder-handling
+// throughput).
+func BenchmarkR7Throughput(b *testing.B) { runExperiment(b, "R7") }
+
+// BenchmarkR8Windows regenerates R8 (figure: window size and slide sweep).
+func BenchmarkR8Windows(b *testing.B) { runExperiment(b, "R8") }
+
+// BenchmarkR9Ablation regenerates R9 (table: controller ablation).
+func BenchmarkR9Ablation(b *testing.B) { runExperiment(b, "R9") }
+
+// BenchmarkR10PanesAblation regenerates R10 (extension table: pane-based
+// vs. naive sliding-window evaluation).
+func BenchmarkR10PanesAblation(b *testing.B) { runExperiment(b, "R10") }
+
+// BenchmarkR11GroupedScaling regenerates R11 (extension table: grouped
+// query scaling over key cardinality).
+func BenchmarkR11GroupedScaling(b *testing.B) { runExperiment(b, "R11") }
+
+// BenchmarkR12LoadShedding regenerates R12 (extension table:
+// quality-driven load shedding under overload).
+func BenchmarkR12LoadShedding(b *testing.B) { runExperiment(b, "R12") }
+
+// BenchmarkR13Sessions regenerates R13 (extension table: session windows
+// under disorder — hold vs. upstream buffering).
+func BenchmarkR13Sessions(b *testing.B) { runExperiment(b, "R13") }
+
+// BenchmarkR14Speculation regenerates R14 (extension table: emit+refine
+// speculation vs. buffering).
+func BenchmarkR14Speculation(b *testing.B) { runExperiment(b, "R14") }
+
+// --- micro-benchmarks for the per-tuple hot paths ---
+
+func benchTuples(n int) []stream.Tuple {
+	return gen.Sensor(n, 12345).Arrivals()
+}
+
+// BenchmarkKSlackInsert measures the fixed-slack buffer's per-tuple cost.
+func BenchmarkKSlackInsert(b *testing.B) {
+	tuples := benchTuples(100000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := buffer.NewKSlack(2 * stream.Second)
+		var out []stream.Tuple
+		for _, t := range tuples {
+			out = h.Insert(stream.DataItem(t), out[:0])
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkAQKSlackInsert measures the adaptive handler's per-tuple cost
+// (estimator + controller included).
+func BenchmarkAQKSlackInsert(b *testing.B) {
+	tuples := benchTuples(100000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := core.NewAQKSlack(core.Config{Theta: 0.01, Spec: spec, Agg: window.Sum()})
+		var out []stream.Tuple
+		for _, t := range tuples {
+			out = h.Insert(stream.DataItem(t), out[:0])
+		}
+	}
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkPaneOpObserve measures the pane-based operator on the same
+// workload as BenchmarkWindowOpObserve — the per-tuple side of the R10
+// ablation.
+func BenchmarkPaneOpObserve(b *testing.B) {
+	tuples := benchTuples(100000)
+	stream.SortByEventTime(tuples)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := window.NewPaneOp(spec, window.Sum())
+		var res []window.Result
+		for _, t := range tuples {
+			res = op.Observe(t, t.Arrival, res[:0])
+		}
+	}
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkWindowOpObserve measures the window operator's per-tuple cost
+// for a 10x-overlapping sliding window.
+func BenchmarkWindowOpObserve(b *testing.B) {
+	tuples := benchTuples(100000)
+	stream.SortByEventTime(tuples)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := window.NewOp(spec, window.Sum(), window.DropLate, 0)
+		var res []window.Result
+		for _, t := range tuples {
+			res = op.Observe(t, t.Arrival, res[:0])
+		}
+	}
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkJoinProbe measures the band join's per-tuple probe cost.
+func BenchmarkJoinProbe(b *testing.B) {
+	n := 50000
+	c := gen.Config{N: n, Interval: 10, Poisson: true, NumKeys: 64, Seed: 777}
+	tuples := c.Arrivals()
+	for i := range tuples {
+		tuples[i].Src = uint8(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := join.New(join.Config{Band: 500, KeyMatch: true})
+		var out []join.Result
+		for _, t := range tuples {
+			out = j.Insert(join.Tagged{Tuple: t, Side: join.Side(t.Src)}, t.Arrival, out[:0])
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkGKSketchAdd measures the lateness sketch's insert cost.
+func BenchmarkGKSketchAdd(b *testing.B) {
+	rng := stats.NewRNG(1)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 500
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := stats.NewGK(0.005)
+		for _, x := range xs {
+			g.Add(x)
+		}
+	}
+	b.ReportMetric(float64(len(xs)*b.N)/b.Elapsed().Seconds(), "adds/s")
+}
+
+// BenchmarkEstimatorMinK measures one full model-driven slack selection
+// (the expensive Monte-Carlo inversion plus sketch bisection).
+func BenchmarkEstimatorMinK(b *testing.B) {
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	e := core.NewEstimator(spec, window.Sum(), core.EstimatorConfig{Seed: 2})
+	rng := stats.NewRNG(3)
+	for i := 0; i < 50000; i++ {
+		e.ObserveTuple(rng.ExpFloat64()*500, rng.Float64Range(50, 150))
+	}
+	e.ObserveWindowCount(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := e.MinK(0.01, 1<<20); k < 0 {
+			b.Fatal("negative K")
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command aqkslack runs one continuous windowed-aggregate query over a
+// synthetic out-of-order stream (or a recorded trace) with a chosen
+// disorder handler, and reports quality, latency and handler statistics.
+//
+// Examples:
+//
+//	aqkslack -n 100000 -agg sum -window 10s -slide 1s -handler aq -theta 0.01
+//	aqkslack -handler kslack -k 2s
+//	aqkslack -trace stream.csv -handler maxslack
+//	aqkslack -workload bursty -handler aq -theta 0.005 -ktrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aqkslack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 100000, "tuples to generate")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workload = flag.String("workload", "sensor", "workload: sensor|bursty|drift|stock|cdr|simnet")
+		trace    = flag.String("trace", "", "read the stream from a CSV trace instead of generating")
+		aggName  = flag.String("agg", "sum", "aggregate: count|sum|avg|min|max|median|stddev|distinct|pNN")
+		winStr   = flag.String("window", "10s", "window size (stream-time duration, e.g. 10s, 500ms)")
+		slideStr = flag.String("slide", "1s", "window slide")
+		handler  = flag.String("handler", "aq", "disorder handler: none|kslack|maxslack|wm|aq|punctuated")
+		timeout  = flag.String("timeout", "", "wrap the handler with a stall timeout (duration, e.g. 5s; empty disables)")
+		kStr     = flag.String("k", "1s", "slack for -handler kslack")
+		theta    = flag.Float64("theta", 0.01, "quality bound (relative error) for -handler aq")
+		wmP      = flag.Float64("wm-p", 0.95, "lateness percentile for -handler wm")
+		ktrace   = flag.Bool("ktrace", false, "print the adaptation trace (aq only)")
+		warmup   = flag.Int("warmup", 20, "windows to skip in the metrics")
+	)
+	flag.Parse()
+
+	spec, err := parseSpec(*winStr, *slideStr)
+	if err != nil {
+		return err
+	}
+	agg, err := window.ByName(*aggName)
+	if err != nil {
+		return err
+	}
+	tuples, err := loadTuples(*trace, *workload, *n, *seed)
+	if err != nil {
+		return err
+	}
+	var src stream.Source = stream.FromTuples(tuples)
+	if *handler == "punctuated" {
+		// The punctuated handler needs completeness watermarks; interleave
+		// oracle punctuations (perfect-information baseline).
+		src = stream.NewSliceSource(gen.WithOracleWatermarks(tuples, 64))
+	}
+
+	var h buffer.Handler
+	switch *handler {
+	case "none":
+		h = buffer.Zero()
+	case "kslack":
+		k, err := parseDur(*kStr)
+		if err != nil {
+			return err
+		}
+		h = buffer.NewKSlack(k)
+	case "maxslack":
+		h = buffer.NewMaxSlack()
+	case "wm":
+		h = buffer.NewPercentile(*wmP, 500)
+	case "aq":
+		h = core.NewAQKSlack(core.Config{Theta: *theta, Spec: spec, Agg: agg})
+	case "punctuated":
+		h = buffer.NewPunctuated()
+	default:
+		return fmt.Errorf("unknown handler %q", *handler)
+	}
+	if *timeout != "" {
+		wait, err := parseDur(*timeout)
+		if err != nil {
+			return err
+		}
+		h = buffer.NewTimeout(h, wait)
+	}
+
+	start := time.Now()
+	rep, err := cq.New(src).
+		Handle(h).
+		Window(spec, agg).
+		KeepInput().
+		Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	quality := rep.Quality(spec, agg, metrics.CompareOpts{
+		Theta: *theta, SkipWarmup: *warmup, SkipEmptyOracle: true,
+	})
+	fmt.Printf("query    : %s(%s) over %v, handler=%v\n", agg.Name, *workload, spec, h)
+	fmt.Printf("input    : %d tuples, %v\n", len(tuples), rep.Disorder)
+	fmt.Printf("results  : %d windows (%d empty), %d late tuples at the operator\n",
+		rep.Op.Emitted, rep.Op.EmptyEmitted, rep.Op.LateTuples)
+	fmt.Printf("quality  : %v\n", quality)
+	fmt.Printf("latency  : %v\n", rep.Latency(*warmup))
+	fmt.Printf("handler  : %v\n", rep.Handler)
+	fmt.Printf("wall     : %v (%.0f tuples/s)\n", wall.Round(time.Millisecond),
+		float64(len(tuples))/wall.Seconds())
+
+	if aq, ok := h.(*core.AQKSlack); ok {
+		q := aq.Quality()
+		fmt.Printf("adaptive : %d adaptations, realizedErrEWMA=%.5f, K=%d\n",
+			q.Adaptations, q.RealizedErrEWMA, q.LastK)
+		if *ktrace {
+			fmt.Println("t\tK\testErr\trealized\tpiFactor")
+			for _, s := range aq.Trace() {
+				fmt.Printf("%d\t%d\t%.5f\t%.5f\t%.2f\n", s.At, s.K, s.EstErr, s.RealizedErr, s.PIFactor)
+			}
+		}
+	}
+	return nil
+}
+
+func loadTuples(trace, workload string, n int, seed uint64) ([]stream.Tuple, error) {
+	if trace != "" {
+		f, err := os.Open(trace)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return gen.ReadTrace(f)
+	}
+	var c gen.Config
+	switch workload {
+	case "sensor":
+		c = gen.Sensor(n, seed)
+	case "bursty":
+		c = gen.SensorBursty(n, seed)
+	case "drift":
+		c = gen.SensorDrift(n, stream.Time(n/2)*10, seed)
+	case "stock":
+		c = gen.Stock(n, 100, seed)
+	case "cdr":
+		c = gen.CDR(n, seed)
+	case "simnet":
+		c = gen.Sensor(n, seed)
+		c.Delays = nil
+		net := sim.DefaultNetwork()
+		net.Seed = seed
+		return sim.Transport(c.Events(), net), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+	return c.Arrivals(), nil
+}
+
+func parseSpec(size, slide string) (window.Spec, error) {
+	sz, err := parseDur(size)
+	if err != nil {
+		return window.Spec{}, err
+	}
+	sl, err := parseDur(slide)
+	if err != nil {
+		return window.Spec{}, err
+	}
+	spec := window.Spec{Size: sz, Slide: sl}
+	return spec, spec.Validate()
+}
+
+// parseDur parses a stream-time duration: plain integers are stream-time
+// units (ms); "2s", "500ms", "1m" are also accepted.
+func parseDur(s string) (stream.Time, error) {
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "ms"), 10, 64)
+		return v, err
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "s"), 10, 64)
+		return v * stream.Second, err
+	case strings.HasSuffix(s, "m"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "m"), 10, 64)
+		return v * stream.Minute, err
+	default:
+		return strconv.ParseInt(s, 10, 64)
+	}
+}

@@ -1,0 +1,97 @@
+// Command aqserver runs a set of quality-driven continuous queries over
+// paced synthetic streams and serves their live state over HTTP.
+//
+//	aqserver -addr :8080 -rate 20000
+//
+// Endpoints:
+//
+//	GET /healthz                      liveness
+//	GET /queries                      all query statuses
+//	GET /queries/{name}               one query's status
+//	GET /queries/{name}/results?last=N recent window results
+//	GET /queries/{name}/trace         adaptation trace (K over time)
+//
+// The streams are replayed at -rate tuples/second of wall time (the
+// stream's internal timestamps are unchanged), so the statuses evolve
+// while the server runs; each stream loops forever with re-based
+// timestamps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rate := flag.Int("rate", 20000, "replay rate in tuples per wall-clock second")
+	n := flag.Int("n", 200000, "tuples per stream segment (looped)")
+	flag.Parse()
+
+	srv := newServer()
+	specs := []struct {
+		name  string
+		theta float64
+		spec  window.Spec
+		agg   window.Factory
+		load  func(seed uint64) gen.Config
+	}{
+		{"temp-avg-10s", 0.005, window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
+			window.Avg(), func(seed uint64) gen.Config { return gen.Sensor(*n, seed) }},
+		{"volume-sum-30s", 0.02, window.Spec{Size: 30 * stream.Second, Slide: 5 * stream.Second},
+			window.Sum(), func(seed uint64) gen.Config { return gen.SensorBursty(*n, seed) }},
+		{"calls-p95-60s", 0.05, window.Spec{Size: 60 * stream.Second, Slide: 10 * stream.Second},
+			window.Quantile(0.95), func(seed uint64) gen.Config { return gen.CDR(*n, seed) }},
+	}
+	for i, sp := range specs {
+		q := newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
+		srv.add(q)
+		go feedLoop(q, sp.load, uint64(i+1), *rate)
+	}
+
+	log.Printf("aqserver: %d queries, listening on %s", len(specs), *addr)
+	log.Printf("try: curl http://localhost%s/queries", *addr)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// feedLoop replays generated stream segments forever at the given wall
+// rate, re-basing timestamps so event time keeps moving forward.
+func feedLoop(q *queryRunner, load func(seed uint64) gen.Config, seed uint64, rate int) {
+	if rate <= 0 {
+		rate = 1
+	}
+	const batch = 128
+	interval := time.Duration(batch) * time.Second / time.Duration(rate)
+	var base stream.Time
+	for loop := uint64(0); ; loop++ {
+		tuples := load(seed + loop).Arrivals()
+		if len(tuples) == 0 {
+			return
+		}
+		var maxTS stream.Time
+		ticker := time.NewTicker(interval)
+		for i, t := range tuples {
+			t.TS += base
+			t.Arrival += base
+			if t.TS > maxTS {
+				maxTS = t.TS
+			}
+			q.feed(stream.DataItem(t))
+			if (i+1)%batch == 0 {
+				<-ticker.C
+			}
+		}
+		ticker.Stop()
+		base = maxTS + stream.Second
+		fmt.Printf("aqserver: %s finished segment %d, re-basing to %d\n", q.name, loop, base)
+	}
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// queryRunner owns one continuous query's operators and its live state.
+// The feeding goroutine is the only writer; HTTP handlers read under the
+// mutex.
+type queryRunner struct {
+	name  string
+	theta float64
+	spec  window.Spec
+	agg   window.Factory
+
+	mu       sync.Mutex
+	handler  *core.AQKSlack
+	op       *window.Op
+	rel      []stream.Tuple
+	now      stream.Time
+	results  []window.Result // ring of recent results
+	emitted  int64
+	tuplesIn int64
+	latency  *stats.P2 // streaming p95 of result latency
+	done     bool
+}
+
+const resultRing = 256
+
+func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Factory) *queryRunner {
+	return &queryRunner{
+		name:    name,
+		theta:   theta,
+		spec:    spec,
+		agg:     agg,
+		handler: core.NewAQKSlack(core.Config{Theta: theta, Spec: spec, Agg: agg}),
+		op:      window.NewOp(spec, agg, window.DropLate, 0),
+		latency: stats.NewP2(0.95),
+	}
+}
+
+// feed pushes one item through the pipeline.
+func (q *queryRunner) feed(it stream.Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !it.Heartbeat {
+		q.tuplesIn++
+		if it.Tuple.Arrival > q.now {
+			q.now = it.Tuple.Arrival
+		}
+	} else if it.Watermark > q.now {
+		q.now = it.Watermark
+	}
+	q.rel = q.handler.Insert(it, q.rel[:0])
+	var res []window.Result
+	for _, t := range q.rel {
+		res = q.op.Observe(t, q.now, res)
+	}
+	q.absorb(res)
+}
+
+// finish flushes the pipeline at end of stream.
+func (q *queryRunner) finish() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.rel = q.handler.Flush(q.rel[:0])
+	var res []window.Result
+	for _, t := range q.rel {
+		res = q.op.Observe(t, q.now, res)
+	}
+	res = q.op.Flush(q.now, res)
+	q.absorb(res)
+	q.done = true
+}
+
+func (q *queryRunner) absorb(res []window.Result) {
+	for _, r := range res {
+		q.emitted++
+		q.latency.Add(float64(r.Latency()))
+		q.results = append(q.results, r)
+		if len(q.results) > resultRing {
+			q.results = q.results[len(q.results)-resultRing:]
+		}
+	}
+}
+
+// status is the JSON shape of one query's live state.
+type status struct {
+	Name        string  `json:"name"`
+	Theta       float64 `json:"theta"`
+	WindowSize  int64   `json:"windowSize"`
+	WindowSlide int64   `json:"windowSlide"`
+	Aggregate   string  `json:"aggregate"`
+	TuplesIn    int64   `json:"tuplesIn"`
+	Windows     int64   `json:"windowsEmitted"`
+	K           int64   `json:"currentK"`
+	RealizedErr float64 `json:"realizedErrEWMA"`
+	EstErr      float64 `json:"lastEstimatedErr"`
+	Adaptations int     `json:"adaptations"`
+	LatencyP95  float64 `json:"latencyP95"`
+	Done        bool    `json:"done"`
+}
+
+func (q *queryRunner) status() status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	qs := q.handler.Quality()
+	return status{
+		Name:        q.name,
+		Theta:       q.theta,
+		WindowSize:  q.spec.Size,
+		WindowSlide: q.spec.Slide,
+		Aggregate:   q.agg.Name,
+		TuplesIn:    q.tuplesIn,
+		Windows:     q.emitted,
+		K:           q.handler.K(),
+		RealizedErr: qs.RealizedErrEWMA,
+		EstErr:      qs.LastEstErr,
+		Adaptations: qs.Adaptations,
+		LatencyP95:  q.latency.Value(),
+		Done:        q.done,
+	}
+}
+
+func (q *queryRunner) recentResults(n int) []window.Result {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n <= 0 || n > len(q.results) {
+		n = len(q.results)
+	}
+	out := make([]window.Result, n)
+	copy(out, q.results[len(q.results)-n:])
+	return out
+}
+
+func (q *queryRunner) trace() []core.KSample {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	tr := q.handler.Trace()
+	out := make([]core.KSample, len(tr))
+	copy(out, tr)
+	return out
+}
+
+// server exposes a set of query runners over HTTP.
+type server struct {
+	mu      sync.RWMutex
+	queries map[string]*queryRunner
+}
+
+func newServer() *server {
+	return &server{queries: make(map[string]*queryRunner)}
+}
+
+func (s *server) add(q *queryRunner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries[q.name] = q
+}
+
+func (s *server) get(name string) (*queryRunner, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q, ok := s.queries[name]
+	return q, ok
+}
+
+// handler builds the HTTP routing table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		names := make([]string, 0, len(s.queries))
+		for n := range s.queries {
+			names = append(names, n)
+		}
+		s.mu.RUnlock()
+		sort.Strings(names)
+		out := make([]status, 0, len(names))
+		for _, n := range names {
+			if q, ok := s.get(n); ok {
+				out = append(out, q.status())
+			}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/queries/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/queries/")
+		parts := strings.SplitN(rest, "/", 2)
+		q, ok := s.get(parts[0])
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown query %q", parts[0]), http.StatusNotFound)
+			return
+		}
+		sub := ""
+		if len(parts) == 2 {
+			sub = parts[1]
+		}
+		switch sub {
+		case "":
+			writeJSON(w, q.status())
+		case "results":
+			n, _ := strconv.Atoi(r.URL.Query().Get("last"))
+			writeJSON(w, resultsJSON(q.recentResults(n)))
+		case "trace":
+			writeJSON(w, q.trace())
+		default:
+			http.Error(w, "unknown endpoint", http.StatusNotFound)
+		}
+	})
+	return mux
+}
+
+// resultJSON is the wire form of a window result.
+type resultJSON struct {
+	Window  int64   `json:"window"`
+	Start   int64   `json:"start"`
+	End     int64   `json:"end"`
+	Value   float64 `json:"value"`
+	Count   int64   `json:"count"`
+	Latency int64   `json:"latency"`
+}
+
+func resultsJSON(rs []window.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{
+			Window: r.Idx, Start: r.Start, End: r.End,
+			Value: r.Value, Count: r.Count, Latency: r.Latency(),
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

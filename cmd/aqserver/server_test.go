@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func testRunner(t *testing.T) *queryRunner {
+	t.Helper()
+	q := newQueryRunner("test-sum", 0.02,
+		window.Spec{Size: 10 * stream.Second, Slide: stream.Second}, window.Sum())
+	for _, tp := range gen.Sensor(20000, 9).Arrivals() {
+		q.feed(stream.DataItem(tp))
+	}
+	q.finish()
+	return q
+}
+
+func TestQueryRunnerPipeline(t *testing.T) {
+	q := testRunner(t)
+	st := q.status()
+	if st.TuplesIn != 20000 {
+		t.Fatalf("TuplesIn = %d", st.TuplesIn)
+	}
+	if st.Windows == 0 {
+		t.Fatal("no windows emitted")
+	}
+	if !st.Done {
+		t.Fatal("not marked done after finish")
+	}
+	if st.Adaptations == 0 {
+		t.Fatal("handler never adapted")
+	}
+	if got := q.recentResults(10); len(got) != 10 {
+		t.Fatalf("recentResults(10) returned %d", len(got))
+	}
+	if got := q.recentResults(0); len(got) == 0 || len(got) > resultRing {
+		t.Fatalf("recentResults(0) returned %d", len(got))
+	}
+	if len(q.trace()) != st.Adaptations {
+		t.Fatalf("trace length %d != adaptations %d", len(q.trace()), st.Adaptations)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv := newServer()
+	srv.add(testRunner(t))
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	getJSON := func(path string, into any) int {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == 200 {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var health map[string]string
+	if code := getJSON("/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+
+	var list []status
+	if code := getJSON("/queries", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("queries: %d %v", code, list)
+	}
+	if list[0].Name != "test-sum" || list[0].Aggregate != "sum" {
+		t.Fatalf("status payload: %+v", list[0])
+	}
+
+	var one status
+	if code := getJSON("/queries/test-sum", &one); code != 200 || one.TuplesIn != 20000 {
+		t.Fatalf("single query: %d %+v", code, one)
+	}
+
+	var results []resultJSON
+	if code := getJSON("/queries/test-sum/results?last=5", &results); code != 200 || len(results) != 5 {
+		t.Fatalf("results: %d, %d rows", code, len(results))
+	}
+	for _, r := range results {
+		if r.End <= r.Start {
+			t.Fatalf("bad result bounds: %+v", r)
+		}
+	}
+
+	var trace []json.RawMessage
+	if code := getJSON("/queries/test-sum/trace", &trace); code != 200 || len(trace) == 0 {
+		t.Fatalf("trace: %d, %d samples", code, len(trace))
+	}
+
+	var none status
+	if code := getJSON("/queries/bogus", &none); code != 404 {
+		t.Fatalf("unknown query returned %d", code)
+	}
+	if code := getJSON("/queries/test-sum/bogus", &none); code != 404 {
+		t.Fatalf("unknown endpoint returned %d", code)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecuteStatement(t *testing.T) {
+	var out strings.Builder
+	err := execute(&out, "SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s QUALITY 2%", 20000, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"executing:", "results", "quality", "latency", "handler", "adaptive handler"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExecuteGrouped(t *testing.T) {
+	var out strings.Builder
+	err := execute(&out, "SELECT count FROM cdr GROUP BY key WINDOW 10s SLIDE 10s QUALITY 5%", 10000, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "keyed windows") {
+		t.Fatalf("grouped output:\n%s", out.String())
+	}
+}
+
+func TestExecuteParseError(t *testing.T) {
+	var out strings.Builder
+	if err := execute(&out, "SELEKT nonsense", 100, 1, 0); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+}
+
+func TestExecuteExplicitHandler(t *testing.T) {
+	var out strings.Builder
+	err := execute(&out, "SELECT avg FROM sensor WINDOW 10s SLIDE 1s HANDLER kslack(2s)", 10000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "adaptive handler") {
+		t.Fatal("explicit handler reported as adaptive")
+	}
+}

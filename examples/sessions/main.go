@@ -1,0 +1,81 @@
+// Sessions: user-activity sessionization over an out-of-order clickstream.
+//
+// Disorder damages session windows *structurally*: a late click that
+// should have bridged two bursts of activity leaves them split into two
+// sessions, or goes missing entirely. This example sessionizes the same
+// stream three ways — no handling, an upstream K-slack buffer, and the
+// session operator's own hold-back (allowed lateness) — and compares
+// session-boundary accuracy against the exact offline sessionization.
+//
+//	go run ./examples/sessions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/buffer"
+	"repro/internal/cq"
+	"repro/internal/delay"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+const (
+	gap   = 50 * stream.Millisecond // clicks <= 50ms apart share a session
+	users = 16
+)
+
+// clickstream builds bursts of per-user activity separated by idle gaps,
+// with heavy-tailed delivery delays comparable to the session gap.
+func clickstream(n int) []stream.Tuple {
+	rng := stats.NewRNG(2024)
+	dm := delay.ParetoWithMean(60, 1.8)
+	var tuples []stream.Tuple
+	ts := stream.Time(0)
+	for i := 0; i < n; i++ {
+		step := stream.Time(rng.Intn(20))
+		if rng.Intn(25) == 0 {
+			step += 200 // idle period: next click starts a new session
+		}
+		ts += step
+		tuples = append(tuples, stream.Tuple{
+			TS:      ts,
+			Arrival: ts + stream.Time(dm.Delay(ts, rng)),
+			Seq:     uint64(i),
+			Key:     uint64(rng.Intn(users)),
+			Value:   1, // one click
+		})
+	}
+	stream.SortByArrival(tuples)
+	return tuples
+}
+
+func run(name string, h buffer.Handler, hold stream.Time, tuples []stream.Tuple) {
+	rep, err := cq.NewSession(stream.FromTuples(tuples), gap, window.Sum()).
+		Handle(h).
+		Hold(hold).
+		KeepInput().
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := rep.Quality(gap, window.Sum())
+	fmt.Printf("%-14s sessions=%-6d boundaryAcc=%6.2f%%  splits=%-5d missing=%-4d meanLat=%5.0fms\n",
+		name, q.EmittedSessions, 100*q.BoundaryAccuracy(), q.Splits, q.Missing, rep.MeanLatency())
+}
+
+func main() {
+	tuples := clickstream(100000)
+	fmt.Printf("clickstream: %d clicks, %d users, session gap %dms\n", len(tuples), users, gap)
+	fmt.Printf("disorder: %v\n\n", stream.MeasureDisorder(tuples))
+
+	run("none", buffer.Zero(), 0, tuples)
+	run("kslack-250ms", buffer.NewKSlack(250), 0, tuples)
+	run("hold-250ms", buffer.Zero(), 250, tuples)
+	run("maxslack", buffer.NewMaxSlack(), 0, tuples)
+
+	fmt.Println("\nupstream buffering and operator-level hold repair session boundaries")
+	fmt.Println("at a similar latency cost; without either, late clicks split sessions.")
+}

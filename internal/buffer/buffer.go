@@ -1,0 +1,326 @@
+// Package buffer implements disorder handling for out-of-order streams:
+// slack buffers that hold tuples back and release them in event-time order.
+//
+// The common mechanism is a K-slack sort buffer: tuples are kept in a
+// min-heap on event time and a tuple with event timestamp ts is released
+// once the stream clock (the maximum event timestamp observed so far)
+// reaches ts + K. Larger K tolerates more lateness at the cost of result
+// latency; K = 0 is "no disorder handling"; K tracking the maximum
+// observed lateness ("MAX-slack") is the conservative baseline.
+//
+// Handlers never drop tuples: a straggler that arrives after its release
+// point (it is later than the current slack can compensate) is forwarded
+// immediately, out of order, and counted. Downstream windowed operators
+// decide what out-of-order emission means for result quality — that
+// decision is the subject of the paper this repository reproduces.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Handler consumes stream items in arrival order and releases tuples
+// ordered by event time, within the guarantees of its slack policy.
+//
+// Insert and Flush append released tuples to out and return the extended
+// slice, letting callers reuse one scratch slice across calls.
+type Handler interface {
+	// Insert accepts the next item in arrival order.
+	Insert(it stream.Item, out []stream.Tuple) []stream.Tuple
+	// Flush releases every tuple still buffered, in event-time order.
+	Flush(out []stream.Tuple) []stream.Tuple
+	// K returns the current slack.
+	K() stream.Time
+	// Len returns the number of buffered tuples.
+	Len() int
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// String names the handler and its policy.
+	String() string
+}
+
+// Stats are cumulative counters of a handler's activity.
+type Stats struct {
+	Inserted   int64       // data tuples accepted
+	Released   int64       // data tuples released
+	Stragglers int64       // released tuples that violated event-time order
+	MaxHeld    int         // high-water mark of buffered tuples
+	MaxK       stream.Time // largest slack used
+}
+
+// String renders the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("buffer{in=%d out=%d stragglers=%d maxHeld=%d maxK=%d}",
+		s.Inserted, s.Released, s.Stragglers, s.MaxHeld, s.MaxK)
+}
+
+// tupleHeap is a binary min-heap on (TS, Seq). A hand-rolled heap avoids
+// container/heap's interface indirection on the per-tuple hot path.
+type tupleHeap []stream.Tuple
+
+func tupleLess(a, b stream.Tuple) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.Seq < b.Seq
+}
+
+func (h *tupleHeap) push(t stream.Tuple) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !tupleLess((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *tupleHeap) pop() stream.Tuple {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *tupleHeap) siftDown(i int) {
+	n := len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && tupleLess((*h)[l], (*h)[smallest]) {
+			smallest = l
+		}
+		if r < n && tupleLess((*h)[r], (*h)[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+}
+
+// slackBuffer is the shared K-slack mechanism. Policy types embed it and
+// adjust k.
+type slackBuffer struct {
+	heap        tupleHeap
+	clock       stream.Time // max event timestamp observed
+	started     bool
+	k           stream.Time
+	maxReleased stream.Time
+	hasReleased bool
+	stats       Stats
+}
+
+// advanceClock raises the stream clock and reports whether it moved.
+func (b *slackBuffer) advanceClock(ts stream.Time) bool {
+	if !b.started || ts > b.clock {
+		b.clock = ts
+		b.started = true
+		return true
+	}
+	return false
+}
+
+// drain releases all tuples whose release point has passed.
+func (b *slackBuffer) drain(out []stream.Tuple) []stream.Tuple {
+	for len(b.heap) > 0 && b.heap[0].TS <= b.clock-b.k {
+		out = b.release(out, b.heap.pop())
+	}
+	return out
+}
+
+func (b *slackBuffer) release(out []stream.Tuple, t stream.Tuple) []stream.Tuple {
+	if b.hasReleased && t.TS < b.maxReleased {
+		b.stats.Stragglers++
+	}
+	if !b.hasReleased || t.TS > b.maxReleased {
+		b.maxReleased = t.TS
+		b.hasReleased = true
+	}
+	b.stats.Released++
+	return append(out, t)
+}
+
+func (b *slackBuffer) insertTuple(t stream.Tuple, out []stream.Tuple) []stream.Tuple {
+	b.stats.Inserted++
+	b.advanceClock(t.TS)
+	b.heap.push(t)
+	if len(b.heap) > b.stats.MaxHeld {
+		b.stats.MaxHeld = len(b.heap)
+	}
+	if b.k > b.stats.MaxK {
+		b.stats.MaxK = b.k
+	}
+	return b.drain(out)
+}
+
+func (b *slackBuffer) insertHeartbeat(w stream.Time, out []stream.Tuple) []stream.Tuple {
+	b.advanceClock(w)
+	return b.drain(out)
+}
+
+// Flush releases everything buffered, in event-time order.
+func (b *slackBuffer) Flush(out []stream.Tuple) []stream.Tuple {
+	for len(b.heap) > 0 {
+		out = b.release(out, b.heap.pop())
+	}
+	return out
+}
+
+// K returns the current slack.
+func (b *slackBuffer) K() stream.Time { return b.k }
+
+// Len returns the number of buffered tuples.
+func (b *slackBuffer) Len() int { return len(b.heap) }
+
+// Stats returns cumulative counters.
+func (b *slackBuffer) Stats() Stats { return b.stats }
+
+// Clock returns the current stream clock (max event timestamp observed).
+func (b *slackBuffer) Clock() stream.Time { return b.clock }
+
+// Head returns the buffered tuple that would be released next, if any.
+// Timeout uses it to detect a stuck buffer head.
+func (b *slackBuffer) Head() (stream.Tuple, bool) {
+	if len(b.heap) == 0 {
+		return stream.Tuple{}, false
+	}
+	return b.heap[0], true
+}
+
+// KSlack is the classic fixed-slack buffer: release when the clock has
+// advanced K past a tuple's event time. SetK makes it externally tunable,
+// which is how the adaptive controller in internal/core drives it.
+type KSlack struct {
+	slackBuffer
+}
+
+// NewKSlack returns a buffer with fixed slack k. It panics if k < 0.
+func NewKSlack(k stream.Time) *KSlack {
+	if k < 0 {
+		panic("buffer: negative slack")
+	}
+	b := &KSlack{}
+	b.k = k
+	return b
+}
+
+// Insert implements Handler.
+func (b *KSlack) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if it.Heartbeat {
+		return b.insertHeartbeat(it.Watermark, out)
+	}
+	return b.insertTuple(it.Tuple, out)
+}
+
+// SetK changes the slack. Lowering K takes effect on the next insert or
+// heartbeat (buffered tuples past the new release point drain then).
+// Negative values clamp to zero.
+func (b *KSlack) SetK(k stream.Time) {
+	if k < 0 {
+		k = 0
+	}
+	b.k = k
+	if k > b.stats.MaxK {
+		b.stats.MaxK = k
+	}
+}
+
+// String implements Handler.
+func (b *KSlack) String() string { return fmt.Sprintf("kslack(K=%d)", b.k) }
+
+// Zero returns a pass-through handler (K = 0): no disorder compensation,
+// minimal latency. It is the "no handling" baseline.
+func Zero() *KSlack { return NewKSlack(0) }
+
+// MaxSlack grows its slack to the maximum lateness ever observed. After a
+// warm-up it forwards no stragglers on stationary delay distributions,
+// which makes it the conservative full-quality baseline with the worst
+// latency — and on heavy-tailed delays its K grows without bound.
+type MaxSlack struct {
+	slackBuffer
+}
+
+// NewMaxSlack returns a MAX-slack buffer (initial slack 0).
+func NewMaxSlack() *MaxSlack { return &MaxSlack{} }
+
+// Insert implements Handler.
+func (b *MaxSlack) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if it.Heartbeat {
+		return b.insertHeartbeat(it.Watermark, out)
+	}
+	t := it.Tuple
+	// Lateness relative to the clock before this tuple advances it.
+	if b.started {
+		if late := b.clock - t.TS; late > b.k {
+			b.k = late
+		}
+	}
+	return b.insertTuple(t, out)
+}
+
+// String implements Handler.
+func (b *MaxSlack) String() string { return fmt.Sprintf("maxslack(K=%d)", b.k) }
+
+// Percentile sets its slack to an estimated quantile of the observed
+// lateness distribution, re-evaluated every UpdateEvery tuples. It is the
+// heuristic watermark baseline (à la "bounded out-of-orderness" watermarks
+// tuned to a percentile): quality-agnostic — the percentile bounds the
+// fraction of straggling tuples, not the result error.
+type Percentile struct {
+	slackBuffer
+	p           float64
+	sketch      *stats.GK
+	updateEvery int64
+	sinceUpdate int64
+}
+
+// NewPercentile returns a buffer that targets the p-th percentile (p in
+// (0, 1]) of tuple lateness, refreshing its slack estimate every
+// updateEvery tuples. It panics on out-of-range arguments.
+func NewPercentile(p float64, updateEvery int64) *Percentile {
+	if p <= 0 || p > 1 {
+		panic("buffer: percentile must be in (0, 1]")
+	}
+	if updateEvery <= 0 {
+		panic("buffer: updateEvery must be positive")
+	}
+	return &Percentile{p: p, sketch: stats.NewGK(0.005), updateEvery: updateEvery}
+}
+
+// Insert implements Handler.
+func (b *Percentile) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if it.Heartbeat {
+		return b.insertHeartbeat(it.Watermark, out)
+	}
+	t := it.Tuple
+	if b.started {
+		late := b.clock - t.TS
+		if late < 0 {
+			late = 0
+		}
+		b.sketch.Add(float64(late))
+		b.sinceUpdate++
+		if b.sinceUpdate >= b.updateEvery {
+			b.sinceUpdate = 0
+			b.k = stream.Time(b.sketch.Quantile(b.p))
+		}
+	}
+	return b.insertTuple(t, out)
+}
+
+// String implements Handler.
+func (b *Percentile) String() string {
+	return fmt.Sprintf("percentile(p=%g,K=%d)", b.p, b.k)
+}

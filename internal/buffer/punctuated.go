@@ -1,0 +1,64 @@
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Punctuated is the perfect-information disorder handler: it treats
+// heartbeat watermarks as *completeness guarantees* ("no future tuple has
+// an event timestamp <= W") and releases exactly up to each watermark.
+//
+// With truthful punctuations (e.g. gen.WithOracleWatermarks, or a source
+// that knows its own delay bound) the output is perfectly ordered with
+// zero stragglers, at the minimum latency any exact method can achieve —
+// the lower-bound baseline the adaptive and estimated handlers are
+// compared against. With untruthful punctuations it degrades like a
+// zero-slack buffer on the early tuples (stragglers pass through
+// immediately and are counted).
+type Punctuated struct {
+	slackBuffer // k stays 0; the clock is driven by watermarks only
+	lastWM      stream.Time
+	hasWM       bool
+}
+
+// NewPunctuated returns a punctuation-trusting handler.
+func NewPunctuated() *Punctuated {
+	b := &Punctuated{}
+	b.k = 0
+	return b
+}
+
+// Insert implements Handler. Data tuples are buffered (or forwarded
+// immediately when they are already below the last watermark — a
+// punctuation violation); heartbeats release everything at or below their
+// watermark.
+func (b *Punctuated) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if it.Heartbeat {
+		if !b.hasWM || it.Watermark > b.lastWM {
+			b.lastWM = it.Watermark
+			b.hasWM = true
+		}
+		// Drive the slack machinery's clock directly from the watermark:
+		// with k == 0 this releases every buffered tuple with TS <= WM.
+		return b.insertHeartbeat(it.Watermark, out)
+	}
+	t := it.Tuple
+	b.stats.Inserted++
+	if b.hasWM && t.TS <= b.lastWM {
+		// Punctuation violation: the "guarantee" was wrong. Forward
+		// immediately; release() counts the straggler.
+		return b.release(out, t)
+	}
+	b.heap.push(t)
+	if len(b.heap) > b.stats.MaxHeld {
+		b.stats.MaxHeld = len(b.heap)
+	}
+	return out
+}
+
+// String implements Handler.
+func (b *Punctuated) String() string {
+	return fmt.Sprintf("punctuated(wm=%d held=%d)", b.lastWM, len(b.heap))
+}

@@ -1,0 +1,132 @@
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Timeout wraps a disorder handler with an arrival-time release fallback:
+// if the wrapped buffer keeps holding tuples while the stream's arrival
+// position advances by more than Wait without any release, the buffer is
+// force-flushed.
+//
+// This guards against a stalled event-time clock — e.g. one source of a
+// merged stream stops sending (so the merged max event timestamp freezes)
+// while others continue, or a producer with skewed timestamps far in the
+// past. Event-time release rules alone would hold such tuples forever.
+// Note the fallback triggers on observed *arrival* progress: a fully
+// silent input (no items at all) is invisible to a pull-based pipeline
+// and must be handled by the source (heartbeats).
+type Timeout struct {
+	inner Handler
+	wait  stream.Time
+
+	lastProgress stream.Time
+	started      bool
+	forced       int64
+
+	// Head-stall detection, when the inner handler exposes its head.
+	header    Header
+	headTuple stream.Tuple
+	headSince stream.Time
+	headValid bool
+}
+
+// Header is the optional capability Timeout prefers: handlers that expose
+// their next-to-release tuple enable precise head-stall detection even
+// while stragglers keep flowing through. The slack buffers in this
+// package implement it.
+type Header interface {
+	Head() (stream.Tuple, bool)
+}
+
+// NewTimeout wraps inner with a force-flush after wait arrival-time units
+// without releases. It panics if wait <= 0 or inner is nil.
+func NewTimeout(inner Handler, wait stream.Time) *Timeout {
+	if inner == nil {
+		panic("buffer: timeout needs an inner handler")
+	}
+	if wait <= 0 {
+		panic("buffer: timeout wait must be positive")
+	}
+	to := &Timeout{inner: inner, wait: wait}
+	if h, ok := inner.(Header); ok {
+		to.header = h
+	}
+	return to
+}
+
+// Insert implements Handler.
+func (t *Timeout) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	now := it.Watermark
+	if !it.Heartbeat {
+		now = it.Tuple.Arrival
+	}
+	before := len(out)
+	out = t.inner.Insert(it, out)
+	if !t.started {
+		t.started = true
+		t.lastProgress = now
+	}
+	if t.header != nil {
+		return t.headStall(now, out)
+	}
+	return t.releaseStall(now, len(out) > before, out)
+}
+
+// headStall force-flushes when the next-to-release tuple has not changed
+// for the wait period despite arrival progress.
+func (t *Timeout) headStall(now stream.Time, out []stream.Tuple) []stream.Tuple {
+	head, ok := t.header.Head()
+	if !ok {
+		t.headValid = false
+		return out
+	}
+	if !t.headValid || head.TS != t.headTuple.TS || head.Seq != t.headTuple.Seq {
+		t.headTuple, t.headSince, t.headValid = head, now, true
+		return out
+	}
+	if now-t.headSince >= t.wait {
+		out = t.inner.Flush(out)
+		t.forced++
+		t.headValid = false
+	}
+	return out
+}
+
+// releaseStall is the fallback for handlers without Head: force-flush
+// after a wait period with tuples held but nothing released.
+func (t *Timeout) releaseStall(now stream.Time, released bool, out []stream.Tuple) []stream.Tuple {
+	switch {
+	case released || t.inner.Len() == 0:
+		if now > t.lastProgress {
+			t.lastProgress = now
+		}
+	case now-t.lastProgress >= t.wait:
+		out = t.inner.Flush(out)
+		t.forced++
+		t.lastProgress = now
+	}
+	return out
+}
+
+// Flush implements Handler.
+func (t *Timeout) Flush(out []stream.Tuple) []stream.Tuple { return t.inner.Flush(out) }
+
+// K implements Handler.
+func (t *Timeout) K() stream.Time { return t.inner.K() }
+
+// Len implements Handler.
+func (t *Timeout) Len() int { return t.inner.Len() }
+
+// Stats implements Handler.
+func (t *Timeout) Stats() Stats { return t.inner.Stats() }
+
+// Forced returns how many times the stall fallback fired.
+func (t *Timeout) Forced() int64 { return t.forced }
+
+// String implements Handler.
+func (t *Timeout) String() string {
+	return fmt.Sprintf("timeout(%d)+%v", t.wait, t.inner)
+}

@@ -1,0 +1,111 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestTimeoutPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil inner": func() { NewTimeout(nil, 10) },
+		"zero wait": func() { NewTimeout(Zero(), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTimeoutForcesFlushOnStalledClock(t *testing.T) {
+	// A tuple with a far-future event timestamp freezes the K-slack
+	// release point for everything behind it... actually the reverse: a
+	// tuple far in the past never releases because the clock (set by the
+	// skewed producer) would need to advance beyond ts+K. Simulate the
+	// common case: the clock stops advancing because the fast producer
+	// dies, while arrivals (stragglers from the slow producer) continue.
+	inner := NewKSlack(1000)
+	h := NewTimeout(inner, 500)
+	var out []stream.Tuple
+
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 10000, Arrival: 10000}), out)
+	if len(out) != 0 {
+		t.Fatal("premature release")
+	}
+	// Arrival position advances via stragglers with old event times; the
+	// clock (max TS) stays 10000, so the buffer would hold forever.
+	for i := 1; i <= 10; i++ {
+		out = h.Insert(stream.DataItem(stream.Tuple{
+			TS: 5000, Arrival: 10000 + stream.Time(i*100), Seq: uint64(i),
+		}), out)
+	}
+	if len(out) == 0 {
+		t.Fatal("timeout did not force a flush")
+	}
+	if h.Forced() == 0 {
+		t.Fatal("forced counter not incremented")
+	}
+}
+
+func TestTimeoutDoesNotFireUnderProgress(t *testing.T) {
+	inner := NewKSlack(50)
+	h := NewTimeout(inner, 200)
+	var out []stream.Tuple
+	for i := 0; i < 1000; i++ {
+		ts := stream.Time(i * 10)
+		out = h.Insert(stream.DataItem(stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i)}), out)
+	}
+	if h.Forced() != 0 {
+		t.Fatalf("timeout fired %d times on a healthy stream", h.Forced())
+	}
+	// All but the last buffered few released normally.
+	if len(out) < 900 {
+		t.Fatalf("only %d released", len(out))
+	}
+}
+
+func TestTimeoutHeartbeatAdvancesStallClock(t *testing.T) {
+	inner := NewKSlack(1000)
+	h := NewTimeout(inner, 500)
+	var out []stream.Tuple
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 100, Arrival: 100}), out)
+	// Heartbeats advance arrival position (watermark) without data; if
+	// the watermark also advances the inner clock the buffer drains
+	// normally — no forced flush needed.
+	out = h.Insert(stream.HeartbeatItem(2000), out)
+	if len(out) != 1 {
+		t.Fatalf("heartbeat drain failed: %v", out)
+	}
+	if h.Forced() != 0 {
+		t.Fatalf("forced flush despite normal drain")
+	}
+}
+
+func TestTimeoutDelegates(t *testing.T) {
+	inner := NewKSlack(7)
+	h := NewTimeout(inner, 100)
+	if h.K() != 7 {
+		t.Fatalf("K = %d", h.K())
+	}
+	h.Insert(stream.DataItem(stream.Tuple{TS: 1, Arrival: 1}), nil)
+	if h.Len() != inner.Len() {
+		t.Fatal("Len not delegated")
+	}
+	if h.Stats() != inner.Stats() {
+		t.Fatal("Stats not delegated")
+	}
+	if !strings.Contains(h.String(), "timeout(100)") {
+		t.Fatalf("String = %q", h.String())
+	}
+	var out []stream.Tuple
+	out = h.Flush(out)
+	if len(out) != 1 {
+		t.Fatal("Flush not delegated")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/buffer"
+	"repro/internal/join"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// JoinConfig parameterizes AQJoin. Recall and Band are required; zero
+// values elsewhere select documented defaults.
+type JoinConfig struct {
+	Recall float64     // recall target in (0, 1), e.g. 0.99
+	Band   stream.Time // the downstream join's band
+	// Streams is the number of joined streams (m-way); default 2. The
+	// recall model generalizes: a combination survives only if none of
+	// its m constituents straggles, missRate = 1 − (1−p)^m.
+	Streams int
+
+	KMax         stream.Time // slack ceiling; default 64 × Band
+	AdaptEvery   stream.Time // adaptation period; default Band
+	Safety       float64     // use Safety × miss budget; default 0.8
+	Mode         Mode        // default ModeHybrid (ModeModelOnly if no feedback source)
+	PI           *PI         // default DefaultPI()
+	SketchEps    float64     // lateness sketch rank error; default 0.005
+	WarmupTuples int64       // tuples before first adaptation; default 200
+}
+
+func (c JoinConfig) withDefaults() JoinConfig {
+	if c.KMax == 0 {
+		c.KMax = 64 * c.Band
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = c.Band
+	}
+	if c.Safety == 0 {
+		c.Safety = 0.8
+	}
+	if c.PI == nil {
+		// Gentler than DefaultPI: realized miss counts are a nearly
+		// binary signal (zero once K clears the tail), so aggressive
+		// gains make the trim oscillate between its clamps.
+		c.PI = &PI{Kp: 0.2, Ki: 0.02, MinFactor: 0.5, MaxFactor: 2}
+	}
+	if c.Mode == ModePOnly {
+		c.PI.Ki = 0
+	}
+	if c.SketchEps == 0 {
+		// The recall controller probes tail probabilities around
+		// Safety·(1−Recall)/2 per tuple; keep the sketch's rank error
+		// well below that (see AQKSlack for the same reasoning).
+		c.SketchEps = clampEps(c.Safety * (1 - c.Recall) / 8)
+	}
+	if c.WarmupTuples == 0 {
+		c.WarmupTuples = 200
+	}
+	if c.Streams == 0 {
+		c.Streams = 2
+	}
+	return c
+}
+
+// AQJoin is the quality-driven adaptive disorder handler for sliding-window
+// joins: it keeps the slack of an internal K-slack buffer at approximately
+// the smallest value whose predicted pair recall meets the target.
+//
+// The recall model: a pair is missed when one constituent straggles past
+// the partner's residence in the join state. A tuple released with
+// effective lateness L − K probes partners whose expiry headroom is
+// Band + Δts, with Δts uniform over [−Band, Band]; averaging over that
+// headroom gives the per-tuple miss probability
+//
+//	p(K) = E_u[ P(L > K + u) ],  u ~ U[0, 2·Band]
+//
+// and a pair survives only if neither side misses: missRate ≈ 1 − (1−p)².
+// The model half picks the smallest K with missRate ≤ Safety·(1−Recall);
+// the PI half trims it using realized recall measured by the downstream
+// join's retained-state miss accounting (wired in via statsFn).
+type AQJoin struct {
+	cfg      JoinConfig
+	buf      *buffer.KSlack
+	lateness *stats.GK
+	statsFn  func() join.Stats
+	mode     Mode
+	pi       *PI
+
+	lastStats    join.Stats
+	realizedMiss *ewmaOrZero
+	observed     int64
+	lastAdapt    stream.Time
+	adaptInit    bool
+	trace        []KSample
+	adaptations  int
+}
+
+// NewAQJoin returns the adaptive handler. statsFn supplies the downstream
+// join's cumulative counters for realized-recall feedback; pass nil to run
+// open loop (the mode degrades to ModeModelOnly). It panics on a recall
+// target outside (0, 1) or a non-positive band.
+func NewAQJoin(cfg JoinConfig, statsFn func() join.Stats) *AQJoin {
+	if cfg.Recall <= 0 || cfg.Recall >= 1 {
+		panic("core: join recall target must be in (0, 1)")
+	}
+	if cfg.Band <= 0 {
+		panic("core: join band must be positive")
+	}
+	cfg = cfg.withDefaults()
+	mode := cfg.Mode
+	if statsFn == nil {
+		mode = ModeModelOnly
+	}
+	return &AQJoin{
+		cfg:          cfg,
+		buf:          buffer.NewKSlack(0),
+		lateness:     stats.NewGK(cfg.SketchEps),
+		statsFn:      statsFn,
+		mode:         mode,
+		pi:           cfg.PI,
+		realizedMiss: &ewmaOrZero{},
+	}
+}
+
+// Insert implements buffer.Handler.
+func (a *AQJoin) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if !it.Heartbeat {
+		late := a.buf.Clock() - it.Tuple.TS
+		if a.observed == 0 || late < 0 {
+			late = 0
+		}
+		a.lateness.Add(float64(late))
+		a.observed++
+	}
+	out = a.buf.Insert(it, out)
+	a.maybeAdapt()
+	return out
+}
+
+// Flush implements buffer.Handler.
+func (a *AQJoin) Flush(out []stream.Tuple) []stream.Tuple { return a.buf.Flush(out) }
+
+// K implements buffer.Handler.
+func (a *AQJoin) K() stream.Time { return a.buf.K() }
+
+// Len implements buffer.Handler.
+func (a *AQJoin) Len() int { return a.buf.Len() }
+
+// Stats implements buffer.Handler.
+func (a *AQJoin) Stats() buffer.Stats { return a.buf.Stats() }
+
+// String implements buffer.Handler.
+func (a *AQJoin) String() string {
+	return fmt.Sprintf("aq-join(recall=%g mode=%s K=%d)", a.cfg.Recall, a.mode, a.K())
+}
+
+// Trace returns the adaptation trace; EstErr/RealizedErr carry the
+// predicted and realized miss rates.
+func (a *AQJoin) Trace() []KSample { return a.trace }
+
+// Adaptations returns how many adaptation steps ran.
+func (a *AQJoin) Adaptations() int { return a.adaptations }
+
+// pTupleLate is the per-tuple miss probability at slack k: lateness beyond
+// k plus the average partner headroom, integrated over headroom uniform in
+// [0, 2·Band].
+func (a *AQJoin) pTupleLate(k stream.Time) float64 {
+	const steps = 8
+	stepLen := float64(2*a.cfg.Band) / steps
+	var sum float64
+	for j := 0; j < steps; j++ {
+		u := (float64(j) + 0.5) * stepLen
+		sum += a.lateness.FracAbove(float64(k) + u)
+	}
+	return sum / steps
+}
+
+// predictedMissRate is the combination miss rate at slack k: a result
+// survives only if none of its Streams constituents straggles.
+func (a *AQJoin) predictedMissRate(k stream.Time) float64 {
+	p := a.pTupleLate(k)
+	return 1 - math.Pow(1-p, float64(a.cfg.Streams))
+}
+
+// minKForMiss returns the smallest slack in [0, KMax] whose predicted miss
+// rate is at most budget (bisection; predictedMissRate is non-increasing
+// in k).
+func (a *AQJoin) minKForMiss(budget float64) stream.Time {
+	if a.predictedMissRate(0) <= budget {
+		return 0
+	}
+	lo, hi := stream.Time(0), a.cfg.KMax
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if a.predictedMissRate(mid) <= budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func (a *AQJoin) maybeAdapt() {
+	clock := a.buf.Clock()
+	if !a.adaptInit {
+		a.adaptInit = true
+		a.lastAdapt = clock
+		return
+	}
+	if clock-a.lastAdapt < a.cfg.AdaptEvery || a.observed < a.cfg.WarmupTuples {
+		return
+	}
+	a.lastAdapt = clock
+	budget := a.cfg.Safety * (1 - a.cfg.Recall)
+
+	kModel := a.minKForMiss(budget)
+
+	factor := 1.0
+	if a.statsFn != nil && a.mode != ModeModelOnly {
+		cur := a.statsFn()
+		dEmit := cur.Emitted - a.lastStats.Emitted
+		dMiss := cur.Missed - a.lastStats.Missed
+		a.lastStats = cur
+		if dEmit+dMiss > 0 {
+			a.realizedMiss.add(float64(dMiss) / float64(dEmit+dMiss))
+		}
+		if a.realizedMiss.init {
+			sig := (a.realizedMiss.v - budget) / (1 - a.cfg.Recall)
+			factor = a.pi.Update(sig)
+		}
+	}
+
+	var k stream.Time
+	switch a.mode {
+	case ModeModelOnly:
+		k = kModel
+	case ModePIOnly, ModePOnly:
+		base := a.buf.K()
+		if base < a.cfg.Band {
+			base = a.cfg.Band
+		}
+		k = stream.Time(float64(base) * factor)
+	default:
+		base := float64(kModel)
+		// See AQKSlack: let feedback escape a zero model choice.
+		if factor > 1 && base < float64(a.cfg.Band) {
+			base = float64(a.cfg.Band)
+		}
+		k = stream.Time(base * factor)
+	}
+	if k > a.cfg.KMax {
+		k = a.cfg.KMax
+	}
+	if k < 0 {
+		k = 0
+	}
+	a.buf.SetK(k)
+	a.adaptations++
+	a.trace = append(a.trace, KSample{
+		At: clock, K: k, EstErr: a.predictedMissRate(k), RealizedErr: a.realizedMiss.v, PIFactor: factor,
+	})
+}

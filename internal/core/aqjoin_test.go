@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/delay"
+	"repro/internal/gen"
+	"repro/internal/join"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// twoStreams builds an interleaved, arrival-ordered pair of streams with
+// Src tags, suitable for a band join.
+func twoStreams(n int, seed uint64) (all, left, right []stream.Tuple) {
+	mk := func(src uint8, s uint64) []stream.Tuple {
+		c := gen.Config{
+			N: n, Interval: 10, Poisson: true,
+			Delays: delay.ParetoWithMean(400, 1.8),
+			Seed:   s,
+		}
+		ts := c.Events()
+		for i := range ts {
+			ts[i].Src = src
+		}
+		return ts
+	}
+	left = mk(0, seed)
+	right = mk(1, seed+1000)
+	all = append(append([]stream.Tuple{}, left...), right...)
+	stream.SortByArrival(all)
+	return all, left, right
+}
+
+// runJoinPipeline drives tagged tuples through a disorder handler into a
+// join operator — the wiring the experiment harness uses for R6.
+func runJoinPipeline(h buffer.Handler, jop *join.Join, tuples []stream.Tuple) []join.Result {
+	var rel []stream.Tuple
+	var out []join.Result
+	var now stream.Time
+	for _, tp := range tuples {
+		now = tp.Arrival
+		rel = h.Insert(stream.DataItem(tp), rel[:0])
+		for _, r := range rel {
+			out = jop.Insert(join.Tagged{Tuple: r, Side: join.Side(r.Src)}, now, out)
+		}
+	}
+	rel = h.Flush(rel[:0])
+	for _, r := range rel {
+		out = jop.Insert(join.Tagged{Tuple: r, Side: join.Side(r.Src)}, now, out)
+	}
+	return out
+}
+
+func TestAQJoinPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"recall=0":  func() { NewAQJoin(JoinConfig{Recall: 0, Band: 10}, nil) },
+		"recall=1":  func() { NewAQJoin(JoinConfig{Recall: 1, Band: 10}, nil) },
+		"band zero": func() { NewAQJoin(JoinConfig{Recall: 0.9, Band: 0}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAQJoinNilStatsFnDegradesToModel(t *testing.T) {
+	a := NewAQJoin(JoinConfig{Recall: 0.95, Band: 100}, nil)
+	if a.mode != ModeModelOnly {
+		t.Fatalf("mode = %v, want model-only without feedback", a.mode)
+	}
+}
+
+func TestAQJoinDisorderHurtsWithoutBuffering(t *testing.T) {
+	// Sanity check that the workload is in the interesting regime: with
+	// no disorder handling, recall is clearly below the targets used in
+	// the tests below.
+	all, left, right := twoStreams(8000, 33)
+	cfg := join.Config{Band: 500}
+	jop := join.New(cfg)
+	emitted := join.PairSet(runJoinPipeline(buffer.Zero(), jop, all))
+	oracle := join.OraclePairs(cfg, left, right)
+	rep := metrics.PairMetrics(emitted, oracle)
+	if rep.Recall > 0.97 {
+		t.Fatalf("zero-handling recall %v too high to exercise adaptation", rep.Recall)
+	}
+}
+
+func TestAQJoinMeetsRecallTarget(t *testing.T) {
+	all, left, right := twoStreams(15000, 31)
+	cfg := join.Config{Band: 500, RetainFor: 60 * stream.Second}
+	jop := join.New(cfg)
+	aq := NewAQJoin(JoinConfig{Recall: 0.99, Band: cfg.Band}, jop.Stats)
+	emitted := join.PairSet(runJoinPipeline(aq, jop, all))
+	oracle := join.OraclePairs(cfg, left, right)
+	rep := metrics.PairMetrics(emitted, oracle)
+	// Allow warm-up slack below the steady-state target.
+	if rep.Recall < 0.97 {
+		t.Fatalf("recall %v misses 0.99 target by more than warm-up slack (%v)", rep.Recall, rep)
+	}
+	if rep.Precision < 0.999 {
+		t.Fatalf("join emitted wrong pairs: precision %v", rep.Precision)
+	}
+	if aq.Adaptations() == 0 || aq.K() <= 0 {
+		t.Fatalf("AQJoin did not adapt: adaptations=%d K=%d", aq.Adaptations(), aq.K())
+	}
+}
+
+func TestAQJoinKMonotoneInRecall(t *testing.T) {
+	all, _, _ := twoStreams(15000, 35)
+	meanK := func(recall float64) float64 {
+		cfg := join.Config{Band: 500, RetainFor: 60 * stream.Second}
+		jop := join.New(cfg)
+		aq := NewAQJoin(JoinConfig{Recall: recall, Band: cfg.Band}, jop.Stats)
+		runJoinPipeline(aq, jop, all)
+		tr := aq.Trace()
+		if len(tr) == 0 {
+			t.Fatalf("recall=%v: no trace", recall)
+		}
+		var sum float64
+		for _, s := range tr[len(tr)/2:] {
+			sum += float64(s.K)
+		}
+		return sum / float64(len(tr)-len(tr)/2)
+	}
+	tight := meanK(0.999)
+	loose := meanK(0.90)
+	if loose >= tight {
+		t.Fatalf("steady K not monotone in recall: K(99.9%%)=%v <= K(90%%)=%v", tight, loose)
+	}
+}
+
+func TestAQJoinTraceAndString(t *testing.T) {
+	all, _, _ := twoStreams(6000, 37)
+	cfg := join.Config{Band: 500, RetainFor: 10 * stream.Second}
+	jop := join.New(cfg)
+	aq := NewAQJoin(JoinConfig{Recall: 0.95, Band: cfg.Band}, jop.Stats)
+	runJoinPipeline(aq, jop, all)
+	for i, s := range aq.Trace() {
+		if s.K < 0 || s.K > aq.cfg.KMax {
+			t.Fatalf("trace[%d] K out of bounds: %+v", i, s)
+		}
+		if s.EstErr < 0 || s.EstErr > 1 {
+			t.Fatalf("trace[%d] predicted miss rate out of [0,1]: %+v", i, s)
+		}
+	}
+	if got := aq.String(); got == "" {
+		t.Fatal("empty String")
+	}
+}

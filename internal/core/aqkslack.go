@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Mode selects which parts of the adaptation loop are active; experiment
+// R9 ablates them.
+type Mode int
+
+const (
+	// ModeHybrid (default) combines the model-driven slack with the PI
+	// trim from realized error.
+	ModeHybrid Mode = iota
+	// ModeModelOnly uses the estimator's slack directly (open loop).
+	ModeModelOnly
+	// ModePIOnly ignores the estimator and drives the slack purely by PI
+	// feedback on realized error.
+	ModePIOnly
+	// ModePOnly is ModePIOnly with the integral gain zeroed (ablation).
+	ModePOnly
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeModelOnly:
+		return "model"
+	case ModePIOnly:
+		return "pi"
+	case ModePOnly:
+		return "p"
+	default:
+		return "hybrid"
+	}
+}
+
+// Config parameterizes AQKSlack. Spec, Agg and Theta are required; zero
+// values elsewhere select documented defaults.
+type Config struct {
+	Theta float64        // bound on relative window error, e.g. 0.01
+	Spec  window.Spec    // the downstream query's window
+	Agg   window.Factory // the downstream query's aggregate
+
+	KMax            stream.Time // slack ceiling; default 64 × Spec.Size
+	AdaptEvery      stream.Time // adaptation period; default Spec.Slide
+	Safety          float64     // internal target = Safety·Theta; default 0.8
+	Mode            Mode        // default ModeHybrid
+	PI              *PI         // default DefaultPI()
+	Estimator       EstimatorConfig
+	FeedbackHorizon stream.Time // straggler wait before realized error; default 4 × Spec.Size
+	LossRefresh     int         // adaptations between MaxTolerableLoss refreshes; default 8
+	WarmupTuples    int64       // tuples before first adaptation; default 200
+}
+
+func (c Config) withDefaults() Config {
+	if c.KMax == 0 {
+		c.KMax = 64 * c.Spec.Size
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = c.Spec.Slide
+	}
+	if c.Safety == 0 {
+		c.Safety = 0.8
+	}
+	if c.PI == nil {
+		// Gentler than DefaultPI: the realized-error feedback arrives a
+		// full FeedbackHorizon late, so aggressive gains make the trim
+		// oscillate between its clamps instead of settling.
+		c.PI = &PI{Kp: 0.2, Ki: 0.02, MinFactor: 0.5, MaxFactor: 2}
+	}
+	if c.Mode == ModePOnly {
+		c.PI.Ki = 0
+	}
+	if c.FeedbackHorizon == 0 {
+		c.FeedbackHorizon = 4 * c.Spec.Size
+	}
+	if c.LossRefresh == 0 {
+		c.LossRefresh = 8
+	}
+	if c.WarmupTuples == 0 {
+		c.WarmupTuples = 200
+	}
+	if c.Estimator.SketchEps == 0 {
+		// The controller probes tail probabilities around Safety·Theta;
+		// the sketch's rank error must be well below that or the model is
+		// forced into gross over-buffering.
+		c.Estimator.SketchEps = clampEps(c.Safety * c.Theta / 4)
+	}
+	return c
+}
+
+// clampEps bounds a derived sketch error to a practical range.
+func clampEps(eps float64) float64 {
+	const lo, hi = 0.0002, 0.005
+	if eps < lo {
+		return lo
+	}
+	if eps > hi {
+		return hi
+	}
+	return eps
+}
+
+// KSample is one point of the adaptation trace.
+type KSample struct {
+	At          stream.Time // stream clock at the adaptation step
+	K           stream.Time // slack chosen
+	EstErr      float64     // model-estimated error at the chosen slack
+	RealizedErr float64     // EWMA of realized (a posteriori) error
+	PIFactor    float64     // correction factor applied
+}
+
+// QualityStats are the operator's cumulative quality-control counters.
+type QualityStats struct {
+	Adaptations     int
+	FinalizedWins   int64   // windows whose realized error is known
+	RealizedErrEWMA float64 // current realized-error estimate
+	LastEstErr      float64
+	LastK           stream.Time
+}
+
+// AQKSlack is the quality-driven adaptive disorder handler for windowed
+// aggregates. It implements buffer.Handler, so it drops into any place a
+// fixed K-slack buffer fits, and adapts its slack to the smallest value
+// whose estimated + realized window error stays within Theta.
+//
+// Internally it runs a shadow of the downstream window computation on the
+// tuples it releases: the value each window had when it was (or would
+// have been) emitted, and — because stragglers keep flowing through the
+// buffer — the window's eventually-complete value. Their relative
+// difference is the error actually inflicted, fed back into the PI trim.
+type AQKSlack struct {
+	cfg  Config
+	buf  *buffer.KSlack
+	est  *Estimator
+	pi   *PI
+	mode Mode
+
+	// Shadow of the downstream computation, over released tuples.
+	shadow   *window.Op // emitted view (DropLate: values at emission time)
+	full     map[int64]window.Aggregate
+	fullLo   int64 // smallest window index still tracked in full
+	fullHi   int64 // largest window index seen
+	haveWin  bool
+	emitted  map[int64]float64 // value at emission, per window, until finalized
+	relClock stream.Time       // max released event timestamp
+	relStart bool
+
+	realized  *ewmaOrZero
+	pMaxCache float64
+	pMaxAge   int
+	lastAdapt stream.Time
+	adaptInit bool
+	trace     []KSample
+	qstats    QualityStats
+
+	scratchRes []window.Result
+}
+
+// ewmaOrZero is a tiny EWMA that reports whether it has data.
+type ewmaOrZero struct {
+	v    float64
+	init bool
+}
+
+func (e *ewmaOrZero) add(x float64) {
+	if !e.init {
+		e.v, e.init = x, true
+		return
+	}
+	// Slow smoothing: realized errors arrive once per slide but reflect
+	// decisions a feedback horizon ago; a twitchy average would feed the
+	// controller its own noise.
+	e.v += 0.1 * (x - e.v)
+}
+
+// NewAQKSlack returns the adaptive handler. It panics on an invalid window
+// spec or a non-positive Theta.
+func NewAQKSlack(cfg Config) *AQKSlack {
+	if err := cfg.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Theta <= 0 {
+		panic("core: Theta must be positive")
+	}
+	cfg = cfg.withDefaults()
+	return &AQKSlack{
+		cfg:      cfg,
+		buf:      buffer.NewKSlack(0),
+		est:      NewEstimator(cfg.Spec, cfg.Agg, cfg.Estimator),
+		pi:       cfg.PI,
+		mode:     cfg.Mode,
+		shadow:   window.NewOp(cfg.Spec, cfg.Agg, window.DropLate, 0),
+		full:     make(map[int64]window.Aggregate),
+		emitted:  make(map[int64]float64),
+		realized: &ewmaOrZero{},
+	}
+}
+
+// Insert implements buffer.Handler.
+func (a *AQKSlack) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	if !it.Heartbeat {
+		t := it.Tuple
+		late := a.buf.Clock() - t.TS
+		if !a.relStart && a.buf.Stats().Inserted == 0 {
+			late = 0
+		}
+		a.est.ObserveTuple(float64(late), t.Value)
+	}
+	before := len(out)
+	out = a.buf.Insert(it, out)
+	a.processReleases(out[before:])
+	a.maybeAdapt()
+	return out
+}
+
+// Flush implements buffer.Handler.
+func (a *AQKSlack) Flush(out []stream.Tuple) []stream.Tuple {
+	before := len(out)
+	out = a.buf.Flush(out)
+	a.processReleases(out[before:])
+	return out
+}
+
+// K implements buffer.Handler.
+func (a *AQKSlack) K() stream.Time { return a.buf.K() }
+
+// Len implements buffer.Handler.
+func (a *AQKSlack) Len() int { return a.buf.Len() }
+
+// Stats implements buffer.Handler.
+func (a *AQKSlack) Stats() buffer.Stats { return a.buf.Stats() }
+
+// String implements buffer.Handler.
+func (a *AQKSlack) String() string {
+	return fmt.Sprintf("aq-kslack(theta=%g mode=%s K=%d)", a.cfg.Theta, a.mode, a.K())
+}
+
+// Trace returns the adaptation trace (one sample per adaptation step).
+func (a *AQKSlack) Trace() []KSample { return a.trace }
+
+// Quality returns cumulative quality-control counters.
+func (a *AQKSlack) Quality() QualityStats {
+	q := a.qstats
+	q.RealizedErrEWMA = a.realized.v
+	q.LastK = a.K()
+	return q
+}
+
+// processReleases runs the shadow window computation over newly released
+// tuples and finalizes realized errors.
+func (a *AQKSlack) processReleases(rel []stream.Tuple) {
+	for _, t := range rel {
+		if !a.relStart || t.TS > a.relClock {
+			a.relClock = t.TS
+			a.relStart = true
+		}
+		// Emitted view: exactly what the downstream op would do.
+		a.scratchRes = a.shadow.Observe(t, 0, a.scratchRes[:0])
+		for _, r := range a.scratchRes {
+			a.emitted[r.Idx] = r.Value
+		}
+		// Full view: every contribution counts, stragglers included.
+		first, last := a.cfg.Spec.WindowsFor(t.TS)
+		if !a.haveWin {
+			a.fullLo, a.haveWin = first, true
+		}
+		for idx := first; idx <= last; idx++ {
+			if idx < a.fullLo { // beyond the feedback horizon; too late
+				continue
+			}
+			agg, ok := a.full[idx]
+			if !ok {
+				agg = a.cfg.Agg.New()
+				a.full[idx] = agg
+			}
+			agg.Add(t.Value)
+			if idx > a.fullHi {
+				a.fullHi = idx
+			}
+		}
+	}
+	a.finalize()
+}
+
+// finalize computes realized errors for windows whose feedback horizon has
+// passed and releases their state.
+func (a *AQKSlack) finalize() {
+	if !a.haveWin {
+		return
+	}
+	for idx := a.fullLo; idx <= a.fullHi; idx++ {
+		_, end := a.cfg.Spec.Bounds(idx)
+		if end+a.cfg.FeedbackHorizon > a.relClock {
+			break
+		}
+		if fullAgg, ok := a.full[idx]; ok {
+			fullVal := fullAgg.Value()
+			a.est.ObserveWindowCount(fullAgg.N())
+			if emitVal, ok := a.emitted[idx]; ok {
+				a.realized.add(relErrEst(emitVal, fullVal))
+				a.qstats.FinalizedWins++
+			}
+			delete(a.full, idx)
+		}
+		delete(a.emitted, idx)
+		a.fullLo = idx + 1
+	}
+}
+
+// maybeAdapt runs one adaptation step when the period has elapsed.
+func (a *AQKSlack) maybeAdapt() {
+	clock := a.buf.Clock()
+	if !a.adaptInit {
+		a.adaptInit = true
+		a.lastAdapt = clock
+		return
+	}
+	if clock-a.lastAdapt < a.cfg.AdaptEvery {
+		return
+	}
+	if a.est.Observations() < a.cfg.WarmupTuples {
+		return
+	}
+	a.lastAdapt = clock
+	target := a.cfg.Safety * a.cfg.Theta
+
+	// Model half: smallest K whose predicted error meets the target.
+	if a.pMaxAge == 0 {
+		a.pMaxCache = a.est.MaxTolerableLoss(target)
+	}
+	a.pMaxAge = (a.pMaxAge + 1) % a.cfg.LossRefresh
+	kModel := a.est.MinKForLoss(a.pMaxCache, a.cfg.KMax)
+
+	// Feedback half: multiplicative PI trim on realized error.
+	factor := 1.0
+	if a.realized.init && a.mode != ModeModelOnly {
+		sig := (a.realized.v - target) / a.cfg.Theta
+		factor = a.pi.Update(sig)
+	}
+
+	var k stream.Time
+	switch a.mode {
+	case ModeModelOnly:
+		k = kModel
+	case ModePIOnly, ModePOnly:
+		// Pure feedback: scale the current slack (at least one slide so
+		// the controller has something to scale).
+		base := a.buf.K()
+		if base < a.cfg.Spec.Slide {
+			base = a.cfg.Spec.Slide
+		}
+		k = stream.Time(float64(base) * factor)
+	default: // ModeHybrid
+		base := float64(kModel)
+		// A multiplicative trim cannot escape a model choice of zero: if
+		// the model says "no buffering" but realized error exceeds the
+		// target, grow from one slide instead.
+		if factor > 1 && base < float64(a.cfg.Spec.Slide) {
+			base = float64(a.cfg.Spec.Slide)
+		}
+		k = stream.Time(base * factor)
+	}
+	if k > a.cfg.KMax {
+		k = a.cfg.KMax
+	}
+	if k < 0 {
+		k = 0
+	}
+	a.buf.SetK(k)
+
+	estErr := a.est.EstimateErr(k)
+	a.qstats.Adaptations++
+	a.qstats.LastEstErr = estErr
+	a.trace = append(a.trace, KSample{
+		At: clock, K: k, EstErr: estErr, RealizedErr: a.realized.v, PIFactor: factor,
+	})
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// SessionConfig parameterizes AQSession. Beta, Gap and Agg are required.
+type SessionConfig struct {
+	// Beta is the target session boundary accuracy in (0, 1): the
+	// fraction of sessions that must be reproduced with exact boundaries,
+	// e.g. 0.99.
+	Beta float64
+	Gap  stream.Time
+	Agg  window.Factory
+
+	HoldMax      stream.Time // hold ceiling; default 64 × Gap
+	AdaptEvery   stream.Time // adaptation period; default 10 × Gap
+	Safety       float64     // damage budget = Safety·(1−Beta); default 0.8
+	PI           *PI         // default gentle gains (see AQJoin)
+	SketchEps    float64     // default scaled to the damage budget
+	WarmupTuples int64       // default 200
+	Seed         uint64
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.HoldMax == 0 {
+		c.HoldMax = 64 * c.Gap
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = 10 * c.Gap
+	}
+	if c.Safety == 0 {
+		c.Safety = 0.8
+	}
+	if c.PI == nil {
+		c.PI = &PI{Kp: 0.2, Ki: 0.02, MinFactor: 0.5, MaxFactor: 2}
+	}
+	if c.SketchEps == 0 {
+		c.SketchEps = clampEps(c.Safety * (1 - c.Beta) / 8)
+	}
+	if c.WarmupTuples == 0 {
+		c.WarmupTuples = 200
+	}
+	return c
+}
+
+// AQSession is the quality-driven controller for session windows: it
+// adapts the session operator's hold (allowed lateness) to the smallest
+// value whose predicted fraction of structurally damaged sessions stays
+// within 1−Beta.
+//
+// Damage model: a session is reproduced exactly only if none of its m
+// members is late beyond its emission headroom. A member's headroom is at
+// least Gap + Hold (the session stays open for Gap + Hold past its last
+// event), so with per-tuple tail probability p = P(lateness > Gap + Hold)
+// the session survives with probability at least (1−p)^m:
+//
+//	damage(Hold) ≈ 1 − (1 − p)^m,  m = EWMA of tuples per session
+//
+// The model half picks the smallest Hold with damage ≤ Safety·(1−Beta);
+// a PI trim corrects it using the observed late-drop rate per emitted
+// session (each late drop marks a session the hold failed to keep intact
+// — observable online, unlike splits themselves).
+//
+// AQSession wraps the window.SessionOp it controls: feed tuples through
+// Observe/Advance/Flush exactly as with a bare operator.
+type AQSession struct {
+	cfg SessionConfig
+	op  *window.SessionOp
+
+	lateness *stats.GK
+	sessSize *stats.EWMA
+	pi       *PI
+
+	clock       stream.Time
+	started     bool
+	observed    int64
+	lastAdapt   stream.Time
+	adaptInit   bool
+	lastStats   window.SessionStats
+	realized    *ewmaOrZero
+	trace       []KSample
+	adaptations int
+}
+
+// NewAQSession returns a controller wrapping a fresh session operator. It
+// panics on Beta outside (0, 1) or a non-positive Gap.
+func NewAQSession(cfg SessionConfig) *AQSession {
+	if cfg.Beta <= 0 || cfg.Beta >= 1 {
+		panic("core: session Beta must be in (0, 1)")
+	}
+	if cfg.Gap <= 0 {
+		panic("core: session Gap must be positive")
+	}
+	cfg = cfg.withDefaults()
+	return &AQSession{
+		cfg:      cfg,
+		op:       window.NewSessionOp(cfg.Gap, 0, cfg.Agg),
+		lateness: stats.NewGK(cfg.SketchEps),
+		sessSize: stats.NewEWMA(0.1),
+		pi:       cfg.PI,
+		realized: &ewmaOrZero{},
+	}
+}
+
+// Op exposes the controlled operator (for stats inspection).
+func (a *AQSession) Op() *window.SessionOp { return a.op }
+
+// Hold returns the current allowed lateness.
+func (a *AQSession) Hold() stream.Time { return a.op.Hold() }
+
+// Trace returns the adaptation trace; K carries the hold, EstErr the
+// predicted damage rate, RealizedErr the observed late-drop rate.
+func (a *AQSession) Trace() []KSample { return a.trace }
+
+// Adaptations returns how many adaptation steps ran.
+func (a *AQSession) Adaptations() int { return a.adaptations }
+
+// Observe feeds one tuple at arrival position now.
+func (a *AQSession) Observe(t stream.Tuple, now stream.Time, out []window.SessionResult) []window.SessionResult {
+	late := a.clock - t.TS
+	if !a.started || late < 0 {
+		late = 0
+	}
+	a.lateness.Add(float64(late))
+	if !a.started || t.TS > a.clock {
+		a.clock = t.TS
+		a.started = true
+	}
+	a.observed++
+	out = a.op.Observe(t, now, out)
+	a.maybeAdapt()
+	return out
+}
+
+// Advance forwards a progress signal to the operator.
+func (a *AQSession) Advance(eventTS, now stream.Time, out []window.SessionResult) []window.SessionResult {
+	if !a.started || eventTS > a.clock {
+		a.clock = eventTS
+		a.started = true
+	}
+	out = a.op.Advance(eventTS, now, out)
+	a.maybeAdapt()
+	return out
+}
+
+// Flush flushes the operator.
+func (a *AQSession) Flush(now stream.Time, out []window.SessionResult) []window.SessionResult {
+	return a.op.Flush(now, out)
+}
+
+// String names the controller.
+func (a *AQSession) String() string {
+	return fmt.Sprintf("aq-session(beta=%g hold=%d)", a.cfg.Beta, a.Hold())
+}
+
+// predictedDamage returns the modelled fraction of sessions whose
+// boundaries break at the given hold.
+func (a *AQSession) predictedDamage(hold stream.Time) float64 {
+	p := a.lateness.FracAbove(float64(a.cfg.Gap + hold))
+	m := a.sessSize.Value()
+	if m < 1 {
+		m = 1
+	}
+	return 1 - math.Pow(1-p, m)
+}
+
+// minHoldForDamage bisects for the smallest hold within budget.
+func (a *AQSession) minHoldForDamage(budget float64) stream.Time {
+	if a.predictedDamage(0) <= budget {
+		return 0
+	}
+	lo, hi := stream.Time(0), a.cfg.HoldMax
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if a.predictedDamage(mid) <= budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func (a *AQSession) maybeAdapt() {
+	if !a.adaptInit {
+		a.adaptInit = true
+		a.lastAdapt = a.clock
+		return
+	}
+	if a.clock-a.lastAdapt < a.cfg.AdaptEvery || a.observed < a.cfg.WarmupTuples {
+		return
+	}
+	a.lastAdapt = a.clock
+	budget := a.cfg.Safety * (1 - a.cfg.Beta)
+
+	// Track mean session size and the realized late-drop rate from the
+	// operator's counter deltas.
+	cur := a.op.Stats()
+	dEmit := cur.Emitted - a.lastStats.Emitted
+	dLate := cur.LateDrops - a.lastStats.LateDrops
+	dTuples := cur.TuplesIn - a.lastStats.TuplesIn
+	a.lastStats = cur
+	if dEmit > 0 {
+		a.sessSize.Add(float64(dTuples) / float64(dEmit))
+		a.realized.add(float64(dLate) / float64(dEmit))
+	}
+
+	hModel := a.minHoldForDamage(budget)
+	factor := 1.0
+	if a.realized.init {
+		sig := (a.realized.v - budget) / (1 - a.cfg.Beta)
+		factor = a.pi.Update(sig)
+	}
+	base := float64(hModel)
+	if factor > 1 && base < float64(a.cfg.Gap) {
+		base = float64(a.cfg.Gap) // zero-escape, as in the other handlers
+	}
+	hold := stream.Time(base * factor)
+	if hold > a.cfg.HoldMax {
+		hold = a.cfg.HoldMax
+	}
+	a.op.SetHold(hold)
+	a.adaptations++
+	a.trace = append(a.trace, KSample{
+		At: a.clock, K: hold, EstErr: a.predictedDamage(hold), RealizedErr: a.realized.v, PIFactor: factor,
+	})
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// sessionStream builds a bursty keyed activity stream with heavy-tailed
+// delays comparable to the gap.
+func sessionStream(n int, seed uint64) []stream.Tuple {
+	rng := stats.NewRNG(seed)
+	dm := delay.ParetoWithMean(60, 1.8)
+	var tuples []stream.Tuple
+	ts := stream.Time(0)
+	for i := 0; i < n; i++ {
+		g := stream.Time(rng.Intn(20))
+		if rng.Intn(25) == 0 {
+			g += 200
+		}
+		ts += g
+		tuples = append(tuples, stream.Tuple{
+			TS: ts, Arrival: ts + stream.Time(dm.Delay(ts, rng)),
+			Seq: uint64(i), Key: uint64(rng.Intn(8)), Value: 1,
+		})
+	}
+	stream.SortByArrival(tuples)
+	return tuples
+}
+
+func runAQSession(beta float64, tuples []stream.Tuple) (*AQSession, []window.SessionResult) {
+	a := NewAQSession(SessionConfig{Beta: beta, Gap: 50, Agg: window.Sum()})
+	var out []window.SessionResult
+	var now stream.Time
+	for _, t := range tuples {
+		now = t.Arrival
+		out = a.Observe(t, now, out)
+	}
+	out = a.Flush(now, out)
+	return a, out
+}
+
+func TestAQSessionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"beta 0": func() { NewAQSession(SessionConfig{Beta: 0, Gap: 10, Agg: window.Sum()}) },
+		"beta 1": func() { NewAQSession(SessionConfig{Beta: 1, Gap: 10, Agg: window.Sum()}) },
+		"gap":    func() { NewAQSession(SessionConfig{Beta: 0.9, Gap: 0, Agg: window.Sum()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAQSessionMeetsAccuracyTarget(t *testing.T) {
+	tuples := sessionStream(40000, 91)
+	oracle := window.SessionOracle(50, window.Sum(), tuples)
+
+	a, out := runAQSession(0.99, tuples)
+	q := window.CompareSessions(out, oracle)
+	if a.Adaptations() == 0 {
+		t.Fatal("never adapted")
+	}
+	if a.Hold() == 0 {
+		t.Fatal("hold stayed zero on a disordered stream with a 99% target")
+	}
+	// Warm-up slack below the steady-state target.
+	if q.BoundaryAccuracy() < 0.975 {
+		t.Fatalf("boundary accuracy %v misses 0.99 target beyond warm-up slack (%v)",
+			q.BoundaryAccuracy(), q)
+	}
+}
+
+func TestAQSessionHoldMonotoneInBeta(t *testing.T) {
+	tuples := sessionStream(40000, 92)
+	meanHold := func(beta float64) float64 {
+		a, _ := runAQSession(beta, tuples)
+		tr := a.Trace()
+		if len(tr) == 0 {
+			t.Fatalf("beta=%v: no trace", beta)
+		}
+		var sum float64
+		for _, s := range tr[len(tr)/2:] {
+			sum += float64(s.K)
+		}
+		return sum / float64(len(tr)-len(tr)/2)
+	}
+	tight := meanHold(0.999)
+	loose := meanHold(0.90)
+	if loose >= tight {
+		t.Fatalf("steady hold not monotone in beta: hold(99.9%%)=%v <= hold(90%%)=%v", tight, loose)
+	}
+}
+
+func TestAQSessionBeatsNoHandlingAccuracy(t *testing.T) {
+	tuples := sessionStream(30000, 93)
+	oracle := window.SessionOracle(50, window.Sum(), tuples)
+
+	raw := window.NewSessionOp(50, 0, window.Sum())
+	var rawOut []window.SessionResult
+	var now stream.Time
+	for _, tp := range tuples {
+		now = tp.Arrival
+		rawOut = raw.Observe(tp, now, rawOut)
+	}
+	rawOut = raw.Flush(now, rawOut)
+	qRaw := window.CompareSessions(rawOut, oracle)
+
+	_, aqOut := runAQSession(0.99, tuples)
+	qAQ := window.CompareSessions(aqOut, oracle)
+	if qAQ.BoundaryAccuracy() <= qRaw.BoundaryAccuracy() {
+		t.Fatalf("AQ session (%v) did not beat no handling (%v)",
+			qAQ.BoundaryAccuracy(), qRaw.BoundaryAccuracy())
+	}
+}
+
+func TestAQSessionString(t *testing.T) {
+	a := NewAQSession(SessionConfig{Beta: 0.95, Gap: 50, Agg: window.Sum()})
+	if s := a.String(); !strings.Contains(s, "aq-session") {
+		t.Fatalf("String = %q", s)
+	}
+	if a.Op() == nil {
+		t.Fatal("Op() nil")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// TestAQKSlackShadowStateBounded verifies the realized-error machinery
+// cannot leak: the full-view and emitted-view maps stay bounded by the
+// feedback horizon regardless of stream length.
+func TestAQKSlackShadowStateBounded(t *testing.T) {
+	cfg := defaultCfg(0.02)
+	h := NewAQKSlack(cfg)
+	tuples := gen.Sensor(150000, 81).Arrivals()
+	// Horizon 4×Size = 40 windows of Slide 1s, plus open windows ~ Size/Slide.
+	const maxTracked = 400
+	var out []stream.Tuple
+	for i, tp := range tuples {
+		out = h.Insert(stream.DataItem(tp), out[:0])
+		if i%10000 == 9999 {
+			if len(h.full) > maxTracked || len(h.emitted) > maxTracked {
+				t.Fatalf("shadow state leaked at %d tuples: full=%d emitted=%d",
+					i+1, len(h.full), len(h.emitted))
+			}
+		}
+	}
+}
+
+// TestAQKSlackExtremeDisorder feeds a stream where event times are almost
+// random relative to arrivals — the handler must stay sane (no panic,
+// conservation, K within bounds).
+func TestAQKSlackExtremeDisorder(t *testing.T) {
+	cfg := defaultCfg(0.05)
+	h := NewAQKSlack(cfg)
+	c := gen.Config{N: 30000, Interval: 10, Seed: 82}
+	tuples := c.Events()
+	// Scramble arrivals: delays uniform over a full minute.
+	rng := stats.NewRNG(83)
+	for i := range tuples {
+		tuples[i].Arrival = tuples[i].TS + stream.Time(rng.Intn(60000))
+	}
+	stream.SortByArrival(tuples)
+	var out []stream.Tuple
+	for _, tp := range tuples {
+		out = h.Insert(stream.DataItem(tp), out)
+	}
+	out = h.Flush(out)
+	if len(out) != len(tuples) {
+		t.Fatalf("conservation violated under extreme disorder: %d/%d", len(out), len(tuples))
+	}
+	if h.K() < 0 || h.K() > h.cfg.KMax {
+		t.Fatalf("K out of bounds: %d", h.K())
+	}
+}
+
+// TestAQKSlackDuplicateTimestamps: bursts of equal event timestamps must
+// not break the shadow accounting.
+func TestAQKSlackDuplicateTimestamps(t *testing.T) {
+	cfg := defaultCfg(0.05)
+	h := NewAQKSlack(cfg)
+	var out []stream.Tuple
+	seq := uint64(0)
+	for block := stream.Time(0); block < 200; block++ {
+		ts := block * 500
+		for i := 0; i < 20; i++ { // 20 tuples with the same event time
+			out = h.Insert(stream.DataItem(stream.Tuple{
+				TS: ts, Arrival: ts + stream.Time(i), Seq: seq, Value: 1,
+			}), out)
+			seq++
+		}
+	}
+	out = h.Flush(out)
+	if len(out) != int(seq) {
+		t.Fatalf("duplicates lost: %d/%d", len(out), seq)
+	}
+}
+
+// TestAQKSlackStalledSourceHeartbeats: during a long source stall, only
+// heartbeats arrive; the handler must keep draining and adapting without
+// data.
+func TestAQKSlackStalledSourceHeartbeats(t *testing.T) {
+	cfg := defaultCfg(0.02)
+	h := NewAQKSlack(cfg)
+	var out []stream.Tuple
+	// Normal phase.
+	for _, tp := range gen.Sensor(5000, 84).Arrivals() {
+		out = h.Insert(stream.DataItem(tp), out)
+	}
+	buffered := h.Len()
+	// Stall: heartbeats only, advancing the clock far past everything.
+	for i := 1; i <= 100; i++ {
+		out = h.Insert(stream.HeartbeatItem(stream.Time(5000*10+i*1000)), out)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heartbeats did not drain buffer: %d left (was %d)", h.Len(), buffered)
+	}
+}
+
+// TestAQJoinStateBounded mirrors the shadow-state check for the join
+// handler's sketch (GK is O(1/eps·log n) by construction, so we only
+// verify the buffer itself drains).
+func TestAQJoinStateBounded(t *testing.T) {
+	all, _, _ := twoStreams(20000, 85)
+	aq := NewAQJoin(JoinConfig{Recall: 0.95, Band: 500}, nil)
+	var out []stream.Tuple
+	for _, tp := range all {
+		out = aq.Insert(stream.DataItem(tp), out[:0])
+		if aq.Len() > 100000 {
+			t.Fatalf("join buffer grew unboundedly: %d", aq.Len())
+		}
+	}
+}
+
+// TestEstimatorConstantValues: zero-variance values must not produce NaN
+// estimates.
+func TestEstimatorConstantValues(t *testing.T) {
+	e := NewEstimator(window.Spec{Size: 1000, Slide: 1000}, window.Avg(), EstimatorConfig{Seed: 86})
+	for i := 0; i < 1000; i++ {
+		e.ObserveTuple(float64(i%100), 42)
+	}
+	e.ObserveWindowCount(50)
+	for _, p := range []float64{0, 0.1, 0.5, 0.99} {
+		got := e.estimateErrAt(p)
+		if got != got { // NaN
+			t.Fatalf("NaN estimate at p=%v", p)
+		}
+	}
+}

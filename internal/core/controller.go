@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// PI is a proportional–integral controller on the normalized quality
+// deviation. Its output is a multiplicative correction factor applied to
+// the model-chosen slack: factor > 1 grows the buffer (quality was worse
+// than the target), factor < 1 shrinks it.
+//
+// The error signal is normalized by the quality bound θ, so gains are
+// dimensionless and one tuning works across thetas:
+//
+//	sig(t)    = (realizedErr − target) / θ
+//	factor(t) = clamp(1 + Kp·sig(t) + Ki·∫sig, [MinFactor, MaxFactor])
+//
+// Integral anti-windup clamps the accumulated term so a long period at the
+// bound cannot wind the controller far beyond the output clamp.
+type PI struct {
+	Kp, Ki               float64
+	MinFactor, MaxFactor float64
+	integral             float64
+}
+
+// DefaultPI returns the gains used throughout the evaluation: a fairly
+// aggressive proportional response with a slow integral trim.
+func DefaultPI() *PI {
+	return &PI{Kp: 0.5, Ki: 0.1, MinFactor: 0.25, MaxFactor: 4}
+}
+
+// Update advances the controller with one normalized deviation sample and
+// returns the correction factor. sig > 0 means measured quality violated
+// the target.
+func (c *PI) Update(sig float64) float64 {
+	c.integral += sig
+	// Anti-windup: the integral may not push the factor beyond its clamp
+	// on its own.
+	if c.Ki > 0 {
+		maxI := (c.MaxFactor - 1) / c.Ki
+		minI := (c.MinFactor - 1) / c.Ki
+		if c.integral > maxI {
+			c.integral = maxI
+		}
+		if c.integral < minI {
+			c.integral = minI
+		}
+	}
+	f := 1 + c.Kp*sig + c.Ki*c.integral
+	if f < c.MinFactor {
+		f = c.MinFactor
+	}
+	if f > c.MaxFactor {
+		f = c.MaxFactor
+	}
+	return f
+}
+
+// Reset clears the integral state.
+func (c *PI) Reset() { c.integral = 0 }
+
+// Integral exposes the accumulated term for ablation traces.
+func (c *PI) Integral() float64 { return c.integral }
+
+// String renders the gains.
+func (c *PI) String() string {
+	return fmt.Sprintf("pi{kp=%g ki=%g clamp=[%g,%g]}", c.Kp, c.Ki, c.MinFactor, c.MaxFactor)
+}

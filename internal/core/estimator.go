@@ -1,0 +1,311 @@
+// Package core implements the paper's contribution: quality-driven,
+// adaptive disorder handling for continuous queries over out-of-order
+// streams.
+//
+// Instead of a hand-tuned slack, the user states a bound θ on result
+// quality — relative error of window aggregates (AQKSlack) or recall of
+// window joins (AQJoin). A feedback loop keeps the slack K of an internal
+// K-slack buffer at (approximately) the smallest value that still meets
+// the bound:
+//
+//  1. a lateness sketch (Greenwald–Khanna quantile summary over observed
+//     tuple lateness) yields P(lateness > K) for any candidate K;
+//  2. an aggregate-specific error model — a Monte-Carlo simulation over a
+//     reservoir sample of recent tuple values — maps the induced tuple-loss
+//     probability to an expected relative window error;
+//  3. a proportional–integral (PI) controller trims the model's choice
+//     using the realized error, measured a posteriori: stragglers
+//     eventually arrive, so the true value of each emitted window becomes
+//     known after a feedback horizon and the error actually made is
+//     observable.
+//
+// The baselines this is evaluated against live in internal/buffer.
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Estimator predicts the relative window-aggregate error that a given
+// slack K would cause, from the observed lateness distribution and a
+// sample of recent tuple values.
+type Estimator struct {
+	spec     window.Spec
+	agg      window.Factory
+	lateness *stats.GK
+	values   *stats.Reservoir
+	winCount *stats.EWMA // tuples per window
+	rng      *stats.RNG
+	trials   int
+	observed int64
+}
+
+// EstimatorConfig parameterizes NewEstimator. Zero values select defaults.
+type EstimatorConfig struct {
+	SketchEps     float64 // GK rank error; default 0.005
+	ReservoirSize int     // value sample size; default 512
+	MCTrials      int     // Monte-Carlo trials per estimate; default 16
+	CountAlpha    float64 // EWMA factor for window tuple count; default 0.2
+	Seed          uint64
+}
+
+func (c EstimatorConfig) withDefaults() EstimatorConfig {
+	if c.SketchEps == 0 {
+		c.SketchEps = 0.005
+	}
+	if c.ReservoirSize == 0 {
+		// Large enough that values appearing at ~0.1% frequency (rare
+		// spikes that dominate max/stddev) are present in the sample.
+		c.ReservoirSize = 4096
+	}
+	if c.MCTrials == 0 {
+		c.MCTrials = 16
+	}
+	if c.CountAlpha == 0 {
+		c.CountAlpha = 0.2
+	}
+	return c
+}
+
+// NewEstimator returns an estimator for the given window spec and
+// aggregate.
+func NewEstimator(spec window.Spec, agg window.Factory, cfg EstimatorConfig) *Estimator {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	return &Estimator{
+		spec:     spec,
+		agg:      agg,
+		lateness: stats.NewGK(cfg.SketchEps),
+		values:   stats.NewReservoir(cfg.ReservoirSize, rng),
+		winCount: stats.NewEWMA(cfg.CountAlpha),
+		rng:      rng,
+		trials:   cfg.MCTrials,
+	}
+}
+
+// ObserveTuple records one tuple's lateness (>= 0, in stream-time units)
+// and value.
+func (e *Estimator) ObserveTuple(lateness float64, value float64) {
+	if lateness < 0 {
+		lateness = 0
+	}
+	e.lateness.Add(lateness)
+	e.values.Add(value)
+	e.observed++
+}
+
+// ObserveWindowCount records the (eventually complete) tuple count of a
+// finished window, feeding the per-window size estimate.
+func (e *Estimator) ObserveWindowCount(n int64) {
+	if n > 0 {
+		e.winCount.Add(float64(n))
+	}
+}
+
+// Observations returns how many tuples the estimator has seen.
+func (e *Estimator) Observations() int64 { return e.observed }
+
+// PLate returns the estimated probability that a tuple's lateness exceeds
+// k — i.e. that a K-slack buffer with slack k would forward it as a
+// straggler.
+func (e *Estimator) PLate(k stream.Time) float64 {
+	return e.lateness.FracAbove(float64(k))
+}
+
+// PLoss returns the estimated probability that a (tuple, window)
+// contribution is lost at slack k. It is strictly tighter than PLate: a
+// tuple with event time ts contributing to window [s, s+Size) is lost only
+// if it is later than k plus the gap between ts and the window's end —
+// tuples early in a window have the whole remaining window length as
+// additional headroom. With windows every Slide, the gap of a uniformly
+// placed tuple takes the values (j+½)·Slide for j = 0..Size/Slide−1, so we
+// average P(L > k + gap) over them.
+func (e *Estimator) PLoss(k stream.Time) float64 {
+	m := int(e.spec.Size / e.spec.Slide)
+	if m <= 0 {
+		m = 1
+	}
+	var sum float64
+	for j := 0; j < m; j++ {
+		gap := float64(j)*float64(e.spec.Slide) + float64(e.spec.Slide)/2
+		sum += e.lateness.FracAbove(float64(k) + gap)
+	}
+	return sum / float64(m)
+}
+
+// WindowCount returns the estimated tuples per window (at least 1).
+func (e *Estimator) WindowCount() int {
+	n := int(math.Round(e.winCount.Value()))
+	if n < 1 {
+		// Fall back to rate-based estimate: window size over a guessed
+		// inter-arrival of 1 would overshoot; just use the sample size.
+		n = e.values.Len()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// EstimateErr predicts the expected relative window error at slack k by
+// Monte-Carlo: draw a synthetic window of the estimated size from the
+// value sample, drop each element with probability PLoss(k), and compare
+// the aggregate of the thinned window against the full one. The generic
+// simulation handles every aggregate — including max and quantiles, whose
+// error is driven by the value distribution, not just the loss fraction.
+func (e *Estimator) EstimateErr(k stream.Time) float64 {
+	p := e.PLoss(k)
+	return e.estimateErrAt(p)
+}
+
+func (e *Estimator) estimateErrAt(p float64) float64 {
+	return e.estimateErrScaled(p, 1)
+}
+
+// estimateErrScaled simulates thinning at probability p with survivor
+// values multiplied by scale (1 for plain loss; 1/(1−p) for
+// Horvitz–Thompson compensated shedding).
+func (e *Estimator) estimateErrScaled(p, scale float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	sample := e.values.Sample()
+	if len(sample) == 0 {
+		// No value information yet: fall back to the loss fraction, the
+		// exact error of count and the iid-expected error of sum.
+		return p
+	}
+	n := e.WindowCount()
+	// Cap the simulated window size: beyond ~1k elements the relative
+	// error of subset aggregates is insensitive to n for the loss
+	// probabilities of interest, and the cap bounds adaptation cost.
+	const maxWindow = 1024
+	if n > maxWindow {
+		n = maxWindow
+	}
+	var errSum float64
+	for t := 0; t < e.trials; t++ {
+		full := e.agg.New()
+		thin := e.agg.New()
+		for i := 0; i < n; i++ {
+			v := sample[e.rng.Intn(len(sample))]
+			full.Add(v)
+			if e.rng.Float64() >= p {
+				thin.Add(v * scale)
+			}
+		}
+		errSum += relErrEst(thin.Value(), full.Value())
+	}
+	return errSum / float64(e.trials)
+}
+
+// EstimateShedErr predicts the relative window error of uniform shedding
+// at probability p. With compensated set, survivor values are scaled by
+// 1/(1−p) (Horvitz–Thompson): unbiased for linear aggregates like sum —
+// only sampling variance remains — while distorting location and extreme
+// statistics (avg, min, max, quantiles), which the simulation reports
+// faithfully. Count cannot be value-compensated; its error stays ≈ p
+// either way.
+func (e *Estimator) EstimateShedErr(p float64, compensated bool) float64 {
+	scale := 1.0
+	if compensated && p < 1 {
+		scale = 1 / (1 - p)
+	}
+	return e.estimateErrScaled(p, scale)
+}
+
+// MaxTolerableShed inverts EstimateShedErr: the largest shedding
+// probability whose estimated error stays within target.
+func (e *Estimator) MaxTolerableShed(target float64, compensated bool) float64 {
+	if target <= 0 {
+		return 0
+	}
+	probe := func(p float64) float64 { return e.EstimateShedErr(p, compensated) }
+	if probe(0.99) <= target {
+		return 0.99 // cap: total shedding is never sensible
+	}
+	lo, hi := 0.0, 0.99
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		if probe(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// relErrEst mirrors metrics.RelErr without importing it (core must not
+// depend on the measurement package).
+func relErrEst(e, o float64) float64 {
+	eNaN, oNaN := math.IsNaN(e), math.IsNaN(o)
+	switch {
+	case eNaN && oNaN:
+		return 0
+	case eNaN || oNaN:
+		return 1
+	}
+	den := math.Abs(o)
+	if den < 1e-9 {
+		den = 1e-9
+	}
+	return math.Abs(e-o) / den
+}
+
+// MaxTolerableLoss inverts the error model: it returns the largest
+// (tuple, window) loss probability whose estimated relative error stays
+// within target. The error estimate is monotone (in expectation) in the
+// loss probability, so bisection applies. This is the expensive half of
+// slack selection — Monte-Carlo per probe — and its result depends only on
+// the value distribution and window size, which drift slowly; AQKSlack
+// caches it across adaptation steps.
+func (e *Estimator) MaxTolerableLoss(target float64) float64 {
+	if target <= 0 {
+		return 0
+	}
+	if e.estimateErrAt(1) <= target {
+		return 1
+	}
+	lo, hi := 0.0, 1.0 // invariant: err(lo) <= target < err(hi)
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		if e.estimateErrAt(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MinKForLoss returns the smallest slack in [0, kMax] whose loss
+// probability PLoss(k) is at most pMax. PLoss is non-increasing in k, so
+// bisection applies; probes only query the lateness sketch, making this
+// the cheap, every-adaptation half of slack selection.
+func (e *Estimator) MinKForLoss(pMax float64, kMax stream.Time) stream.Time {
+	if kMax <= 0 || e.PLoss(0) <= pMax {
+		return 0
+	}
+	lo, hi := stream.Time(0), kMax // invariant: PLoss(lo) > pMax
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if e.PLoss(mid) <= pMax {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// MinK returns the smallest slack in [0, kMax] whose estimated relative
+// error meets target: the composition of MaxTolerableLoss and
+// MinKForLoss.
+func (e *Estimator) MinK(target float64, kMax stream.Time) stream.Time {
+	return e.MinKForLoss(e.MaxTolerableLoss(target), kMax)
+}

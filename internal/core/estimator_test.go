@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+func uniformEstimator(t *testing.T, spec window.Spec, agg window.Factory, maxLate float64, n int) *Estimator {
+	t.Helper()
+	e := NewEstimator(spec, agg, EstimatorConfig{Seed: 1, MCTrials: 64})
+	rng := stats.NewRNG(2)
+	for i := 0; i < n; i++ {
+		e.ObserveTuple(rng.Float64Range(0, maxLate), rng.Float64Range(10, 20))
+	}
+	e.ObserveWindowCount(100)
+	return e
+}
+
+func TestPLateMatchesDistribution(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 10, Slide: 10}, window.Sum(), 100, 20000)
+	for _, c := range []struct {
+		k    int64
+		want float64
+	}{
+		{0, 1}, {50, 0.5}, {90, 0.1}, {100, 0}, {1000, 0},
+	} {
+		if got := e.PLate(c.k); math.Abs(got-c.want) > 0.03 {
+			t.Errorf("PLate(%d) = %v, want ~%v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestPLossTighterThanPLate(t *testing.T) {
+	// With a large window, most tuples have extra headroom, so PLoss must
+	// be well below PLate.
+	e := uniformEstimator(t, window.Spec{Size: 200, Slide: 50}, window.Sum(), 100, 20000)
+	k := int64(20)
+	pLate, pLoss := e.PLate(k), e.PLoss(k)
+	if pLoss >= pLate {
+		t.Fatalf("PLoss(%d)=%v not tighter than PLate=%v", k, pLoss, pLate)
+	}
+	if pLoss <= 0 {
+		t.Fatalf("PLoss = %v, want positive at small k", pLoss)
+	}
+}
+
+func TestPLossMonotoneInK(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 50, Slide: 10}, window.Sum(), 200, 20000)
+	prev := 2.0
+	for k := int64(0); k <= 250; k += 10 {
+		p := e.PLoss(k)
+		if p > prev+1e-9 {
+			t.Fatalf("PLoss not non-increasing at k=%d: %v -> %v", k, prev, p)
+		}
+		prev = p
+	}
+}
+
+func TestEstimateErrZeroLoss(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 10, Slide: 10}, window.Sum(), 100, 5000)
+	if got := e.EstimateErr(1 << 30); got != 0 {
+		t.Fatalf("EstimateErr at huge K = %v, want 0", got)
+	}
+}
+
+func TestEstimateErrCountTracksLoss(t *testing.T) {
+	// For count, the relative error equals the loss fraction in
+	// expectation.
+	e := NewEstimator(window.Spec{Size: 10, Slide: 10}, window.Count(), EstimatorConfig{Seed: 3, MCTrials: 64})
+	rng := stats.NewRNG(4)
+	for i := 0; i < 20000; i++ {
+		e.ObserveTuple(rng.Float64Range(0, 100), 1)
+	}
+	e.ObserveWindowCount(400)
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		got := e.estimateErrAt(p)
+		if math.Abs(got-p) > 0.35*p+0.01 {
+			t.Errorf("estimateErrAt(%v) for count = %v, want ~%v", p, got, p)
+		}
+	}
+}
+
+func TestEstimateErrAvgSmallerThanSumError(t *testing.T) {
+	// Dropping a random subset biases a sum proportionally but leaves an
+	// average nearly unbiased: the avg model must predict far less error
+	// for tightly concentrated values.
+	mk := func(agg window.Factory) *Estimator {
+		e := NewEstimator(window.Spec{Size: 10, Slide: 10}, agg, EstimatorConfig{Seed: 5, MCTrials: 64})
+		rng := stats.NewRNG(6)
+		for i := 0; i < 10000; i++ {
+			e.ObserveTuple(rng.Float64Range(0, 100), rng.Float64Range(99, 101))
+		}
+		e.ObserveWindowCount(200)
+		return e
+	}
+	p := 0.2
+	sumErr := mk(window.Sum()).estimateErrAt(p)
+	avgErr := mk(window.Avg()).estimateErrAt(p)
+	if avgErr >= sumErr/3 {
+		t.Fatalf("avg error %v not much smaller than sum error %v", avgErr, sumErr)
+	}
+}
+
+func TestMaxTolerableLossInvertsModel(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 10, Slide: 10}, window.Count(), 100, 20000)
+	for _, theta := range []float64{0.01, 0.05, 0.2} {
+		p := e.MaxTolerableLoss(theta)
+		// The Monte-Carlo estimate is noisy (and quantized at 1/n for
+		// count), so re-evaluation may wobble: allow 2x + quantization.
+		if err := e.estimateErrAt(p); err > 2*theta+0.01 {
+			t.Errorf("theta=%v: loss %v gives error %v above target", theta, p, err)
+		}
+	}
+	if e.MaxTolerableLoss(0) != 0 {
+		t.Error("MaxTolerableLoss(0) != 0")
+	}
+}
+
+func TestMinKMonotoneInTheta(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 10, Slide: 10}, window.Count(), 100, 20000)
+	k1 := e.MinK(0.01, 1<<20)
+	k5 := e.MinK(0.05, 1<<20)
+	k20 := e.MinK(0.20, 1<<20)
+	if !(k1 >= k5 && k5 >= k20) {
+		t.Fatalf("MinK not monotone: theta 1%%->%d, 5%%->%d, 20%%->%d", k1, k5, k20)
+	}
+	if k1 > 110 {
+		t.Fatalf("MinK(1%%) = %d beyond the lateness support (~100)", k1)
+	}
+}
+
+func TestMinKForLossBounds(t *testing.T) {
+	e := uniformEstimator(t, window.Spec{Size: 10, Slide: 10}, window.Count(), 100, 20000)
+	if k := e.MinKForLoss(1, 1<<20); k != 0 {
+		t.Fatalf("tolerating all loss should give K=0, got %d", k)
+	}
+	k := e.MinKForLoss(0.1, 1<<20)
+	if e.PLoss(k) > 0.1+0.02 {
+		t.Fatalf("MinKForLoss(0.1) = %d has PLoss %v", k, e.PLoss(k))
+	}
+	if k > 0 && e.PLoss(k-1) <= 0.1-0.02 {
+		t.Fatalf("MinKForLoss(0.1) = %d not minimal (PLoss(k-1)=%v)", k, e.PLoss(k-1))
+	}
+	if got := e.MinKForLoss(0.5, 0); got != 0 {
+		t.Fatalf("kMax=0 should clamp to 0, got %d", got)
+	}
+}
+
+func TestEstimateErrNoValuesFallsBackToLoss(t *testing.T) {
+	e := NewEstimator(window.Spec{Size: 10, Slide: 10}, window.Sum(), EstimatorConfig{Seed: 9})
+	// Observe nothing: estimate must fall back to the loss probability.
+	if got := e.estimateErrAt(0.3); got != 0.3 {
+		t.Fatalf("fallback estimate = %v, want 0.3", got)
+	}
+}
+
+func TestWindowCountFallbacks(t *testing.T) {
+	e := NewEstimator(window.Spec{Size: 10, Slide: 10}, window.Sum(), EstimatorConfig{Seed: 10})
+	if n := e.WindowCount(); n != 1 {
+		t.Fatalf("empty estimator WindowCount = %d, want 1", n)
+	}
+	e.ObserveWindowCount(250)
+	if n := e.WindowCount(); n != 250 {
+		t.Fatalf("WindowCount = %d, want 250", n)
+	}
+	e.ObserveWindowCount(0) // ignored
+	if n := e.WindowCount(); n != 250 {
+		t.Fatalf("zero count polluted estimate: %d", n)
+	}
+}
+
+func TestObserveTupleClampsNegativeLateness(t *testing.T) {
+	e := NewEstimator(window.Spec{Size: 10, Slide: 10}, window.Sum(), EstimatorConfig{Seed: 11})
+	e.ObserveTuple(-50, 1)
+	if got := e.PLate(0); got != 0 {
+		t.Fatalf("negative lateness recorded: PLate(0) = %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func shedCfg(theta, targetRate float64) ShedConfig {
+	return ShedConfig{
+		Theta:      theta,
+		Spec:       window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
+		Agg:        window.Sum(),
+		TargetRate: targetRate,
+	}
+}
+
+func TestShedderPanics(t *testing.T) {
+	inner := buffer.Zero()
+	for name, f := range map[string]func(){
+		"theta": func() { NewShedder(shedCfg(0, 10), inner) },
+		"rate":  func() { NewShedder(shedCfg(0.01, 0), inner) },
+		"inner": func() { NewShedder(shedCfg(0.01, 10), nil) },
+		"spec":  func() { NewShedder(ShedConfig{Theta: 0.1, TargetRate: 1, Agg: window.Sum()}, inner) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShedderNoOverloadNoShedding(t *testing.T) {
+	// Sensor workload: 1 tuple per 10 units = rate 100/1000 units.
+	tuples := gen.Sensor(30000, 71).Arrivals()
+	sh := NewShedder(shedCfg(0.01, 200), buffer.Zero()) // target well above offered
+	var out []stream.Tuple
+	for _, tp := range tuples {
+		out = sh.Insert(stream.DataItem(tp), out)
+	}
+	out = sh.Flush(out)
+	if got := sh.Shed(); got.Shed != 0 {
+		t.Fatalf("shed %d tuples without overload (%v)", got.Shed, got)
+	}
+	if len(out) != len(tuples) {
+		t.Fatalf("lost tuples without shedding: %d of %d", len(out), len(tuples))
+	}
+}
+
+func TestShedderHitsLoadTarget(t *testing.T) {
+	// Offered rate 100 per 1000 units; target 50 → ~50% shed wanted.
+	// With Horvitz–Thompson compensation, shedding a sum is unbiased and
+	// its residual error is the sampling term sqrt((1+cv²)p/((1−p)n)):
+	// ~3.5% at p=0.5 for these windows, so a 5% budget permits the load
+	// target.
+	tuples := gen.Sensor(60000, 72).Arrivals()
+	cfg := shedCfg(0.05, 50)
+	cfg.Compensate = true
+	sh := NewShedder(cfg, buffer.Zero())
+	var out []stream.Tuple
+	for _, tp := range tuples {
+		out = sh.Insert(stream.DataItem(tp), out)
+	}
+	out = sh.Flush(out)
+	frac := sh.Shed().ShedFrac()
+	if frac < 0.30 || frac > 0.55 {
+		t.Fatalf("shed fraction %v, want ~0.5 (load target)", frac)
+	}
+	if len(out)+int(sh.Shed().Shed) != len(tuples) {
+		t.Fatal("shed accounting inconsistent")
+	}
+}
+
+func TestShedderQualityBudgetCapsShedding(t *testing.T) {
+	// Same overload, but theta so tight the quality budget refuses the
+	// load target.
+	tuples := gen.Sensor(60000, 73).Arrivals()
+	sh := NewShedder(shedCfg(0.005, 50), buffer.Zero())
+	for _, tp := range tuples {
+		sh.Insert(stream.DataItem(tp), nil)
+	}
+	st := sh.Shed()
+	// Uncompensated shedding on a sum has a budget ≈ theta, far below
+	// the ~50% the load target wants: quality must win.
+	if st.Shed == 0 {
+		t.Fatal("no shedding despite overload")
+	}
+	if st.PBudget > 0.02 {
+		t.Fatalf("uncompensated sum budget %v suspiciously large", st.PBudget)
+	}
+	if st.ShedFrac() > st.PBudget*1.5+0.01 {
+		t.Fatalf("shed fraction %v exceeded quality budget %v", st.ShedFrac(), st.PBudget)
+	}
+}
+
+func TestShedderCompensationWidensBudget(t *testing.T) {
+	// The same estimator state must grant a far larger shedding budget
+	// for a compensated sum than for an uncompensated one.
+	e := NewEstimator(window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
+		window.Sum(), EstimatorConfig{Seed: 7, MCTrials: 32})
+	rng := stats.NewRNG(8)
+	for i := 0; i < 20000; i++ {
+		e.ObserveTuple(0, rng.Float64Range(50, 150))
+	}
+	e.ObserveWindowCount(1000)
+	plain := e.MaxTolerableShed(0.01, false)
+	comp := e.MaxTolerableShed(0.01, true)
+	if comp < 3*plain {
+		t.Fatalf("compensation did not widen the budget: plain %v, compensated %v", plain, comp)
+	}
+}
+
+func TestShedderEndToEndQualityHolds(t *testing.T) {
+	// Budget split: 1% total — 0.5% shedding + 0.5% disorder handling.
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	agg := window.Sum()
+	tuples := gen.Sensor(80000, 74).Arrivals()
+
+	inner := NewAQKSlack(Config{Theta: 0.005, Spec: spec, Agg: agg})
+	cfg := shedCfg(0.005, 80) // mild overload (offered 100)
+	cfg.Compensate = true
+	sh := NewShedder(cfg, inner)
+	results := runPipeline(sh, tuples, spec, agg)
+	oracle := window.Oracle(spec, agg, tuples)
+	q := metrics.Compare(results, oracle, metrics.CompareOpts{
+		Theta: 0.01, SkipWarmup: 20, SkipEmptyOracle: true,
+	})
+	if q.MeanRelErr > 0.011 {
+		t.Fatalf("combined shedding+buffering error %v above total budget (%v)", q.MeanRelErr, q)
+	}
+	if sh.Shed().Shed == 0 {
+		t.Fatal("overload did not trigger shedding")
+	}
+}
+
+func TestShedderHeartbeatsPassThrough(t *testing.T) {
+	sh := NewShedder(shedCfg(0.01, 1), buffer.NewKSlack(5))
+	var out []stream.Tuple
+	out = sh.Insert(stream.DataItem(stream.Tuple{TS: 100, Arrival: 100}), out)
+	out = sh.Insert(stream.HeartbeatItem(1000), out)
+	if len(out) != 1 {
+		t.Fatalf("heartbeat did not drain inner buffer: %v", out)
+	}
+}
+
+func TestShedderStringAndStats(t *testing.T) {
+	sh := NewShedder(shedCfg(0.01, 10), buffer.Zero())
+	if s := sh.String(); !strings.Contains(s, "shed(") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := sh.Shed().String(); !strings.Contains(s, "offered=") {
+		t.Fatalf("ShedStats.String = %q", s)
+	}
+	if sh.K() != 0 || sh.Len() != 0 {
+		t.Fatal("delegation broken")
+	}
+}

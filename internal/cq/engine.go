@@ -1,0 +1,156 @@
+package cq
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// released carries a tuple from the disorder-handling stage to the window
+// stage together with the arrival-time position at which it was released.
+type released struct {
+	tuple stream.Tuple
+	now   stream.Time
+	flush bool // end-of-stream marker: flush remaining windows at now
+	mark  bool // boundary marker: results so far were progress-emitted
+}
+
+// RunConcurrent executes the query as a pipeline of goroutines connected
+// by channels: source → transform → disorder handler → window operator.
+// Results are streamed to sink (from the window stage's goroutine) as they
+// are emitted, and the final report is returned once the source is
+// exhausted or ctx is cancelled.
+//
+// The per-stage operators are single-writer, so no locking is needed; the
+// channels provide the happens-before edges. Output is identical to Run
+// for the same query, because every stage preserves arrival order.
+func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) (*AggReport, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if q.grouped {
+		return nil, errors.New("cq: grouped queries are only supported by the synchronous Run executor")
+	}
+	handler := q.handler
+	if handler == nil {
+		handler = buffer.Zero()
+	}
+	op := window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+	rep := &AggReport{}
+
+	items := make(chan stream.Item, 256)
+	rels := make(chan released, 256)
+	done := make(chan struct{})
+
+	// Stage 1+2: source + transform. Owns the source and the report's
+	// input/disorder fields until it closes items.
+	var inputTuples []stream.Tuple
+	var disorderSrc []stream.Tuple
+	go func() {
+		defer close(items)
+		for {
+			it, ok := q.source.Next()
+			if !ok {
+				return
+			}
+			if !it.Heartbeat {
+				t, keep := q.transform(it.Tuple)
+				if !keep {
+					continue
+				}
+				it = stream.DataItem(t)
+				if q.keepInput {
+					inputTuples = append(inputTuples, t)
+				}
+				disorderSrc = append(disorderSrc, stream.Tuple{TS: t.TS, Arrival: t.Arrival})
+			}
+			select {
+			case items <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 3: disorder handler. Owns handler state.
+	go func() {
+		defer close(rels)
+		var now stream.Time
+		var rel []stream.Tuple
+		for it := range items {
+			if it.Heartbeat {
+				if it.Watermark > now {
+					now = it.Watermark
+				}
+			} else if it.Tuple.Arrival > now {
+				now = it.Tuple.Arrival
+			}
+			rel = handler.Insert(it, rel[:0])
+			for _, t := range rel {
+				select {
+				case rels <- released{tuple: t, now: now}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+		select {
+		case rels <- released{now: now, mark: true}:
+		case <-ctx.Done():
+			return
+		}
+		rel = handler.Flush(rel[:0])
+		for _, t := range rel {
+			select {
+			case rels <- released{tuple: t, now: now}:
+			case <-ctx.Done():
+				return
+			}
+		}
+		select {
+		case rels <- released{now: now, flush: true}:
+		case <-ctx.Done():
+		}
+	}()
+
+	// Stage 4: window operator + sink. Owns op state and rep.Results.
+	go func() {
+		defer close(done)
+		var scratch []window.Result
+		for r := range rels {
+			switch {
+			case r.mark:
+				rep.PreFlush = len(rep.Results)
+				continue
+			case r.flush:
+				scratch = op.Flush(r.now, scratch[:0])
+			default:
+				scratch = op.Observe(r.tuple, r.now, scratch[:0])
+			}
+			for _, res := range scratch {
+				rep.Results = append(rep.Results, res)
+				if sink != nil {
+					sink(res)
+				}
+			}
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain stages so their goroutines exit, then report the
+		// cancellation.
+		<-done
+		return nil, ctx.Err()
+	}
+
+	rep.Input = inputTuples
+	rep.Disorder = stream.MeasureDisorder(disorderSrc)
+	rep.Handler = handler.Stats()
+	rep.Op = op.Stats()
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+package cq
+
+import (
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/join"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// JoinQuery is a two-stream sliding-window join continuous query. The two
+// sources are merged by arrival time; tuples must carry Src 0 (left) or
+// Src 1 (right).
+type JoinQuery struct {
+	left, right stream.Source
+	handler     buffer.Handler
+	cfg         join.Config
+	keepInput   bool
+}
+
+// NewJoin starts building a join query over two arrival-ordered sources.
+func NewJoin(left, right stream.Source, cfg join.Config) *JoinQuery {
+	return &JoinQuery{left: left, right: right, cfg: cfg}
+}
+
+// Handle sets the disorder handler applied to the merged stream. Defaults
+// to no handling (K = 0).
+func (q *JoinQuery) Handle(h buffer.Handler) *JoinQuery {
+	q.handler = h
+	return q
+}
+
+// KeepInput retains the input tuples per side for oracle computation.
+func (q *JoinQuery) KeepInput() *JoinQuery {
+	q.keepInput = true
+	return q
+}
+
+// JoinReport is the outcome of executing a JoinQuery.
+type JoinReport struct {
+	Results     []join.Result
+	Join        join.Stats
+	Handler     buffer.Stats
+	Left, Right []stream.Tuple // only when KeepInput was set
+}
+
+// OraclePairs computes ground-truth pairs; the query must have been built
+// with KeepInput.
+func (r *JoinReport) OraclePairs(cfg join.Config) map[metrics.Pair]struct{} {
+	return join.OraclePairs(cfg, r.Left, r.Right)
+}
+
+// Quality compares emitted pairs against the oracle.
+func (r *JoinReport) Quality(cfg join.Config) metrics.PairReport {
+	return metrics.PairMetrics(join.PairSet(r.Results), r.OraclePairs(cfg))
+}
+
+// Run executes the join query synchronously. op is the join operator to
+// drive; passing it in (rather than constructing it internally) lets
+// callers share the operator with an adaptive handler's feedback hook
+// (core.NewAQJoin takes op.Stats).
+func (q *JoinQuery) Run(op *join.Join) (*JoinReport, error) {
+	if q.left == nil || q.right == nil {
+		return nil, errors.New("cq: join query needs two sources")
+	}
+	if op == nil {
+		return nil, errors.New("cq: join query needs an operator")
+	}
+	handler := q.handler
+	if handler == nil {
+		handler = buffer.Zero()
+	}
+	rep := &JoinReport{}
+	merged := stream.NewMerge(q.left, q.right)
+	var rel []stream.Tuple
+	var now stream.Time
+	for {
+		it, ok := merged.Next()
+		if !ok {
+			break
+		}
+		if !it.Heartbeat {
+			t := it.Tuple
+			if q.keepInput {
+				if t.Src == 0 {
+					rep.Left = append(rep.Left, t)
+				} else {
+					rep.Right = append(rep.Right, t)
+				}
+			}
+			if t.Arrival > now {
+				now = t.Arrival
+			}
+		} else if it.Watermark > now {
+			now = it.Watermark
+		}
+		rel = handler.Insert(it, rel[:0])
+		for _, t := range rel {
+			rep.Results = op.Insert(join.Tagged{Tuple: t, Side: join.Side(t.Src)}, now, rep.Results)
+		}
+	}
+	rel = handler.Flush(rel[:0])
+	for _, t := range rel {
+		rep.Results = op.Insert(join.Tagged{Tuple: t, Side: join.Side(t.Src)}, now, rep.Results)
+	}
+	rep.Join = op.Stats()
+	rep.Handler = handler.Stats()
+	return rep, nil
+}

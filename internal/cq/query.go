@@ -1,0 +1,267 @@
+// Package cq is the continuous-query engine tying the substrates together:
+// a query couples an arrival-ordered source, optional filter/map stages, a
+// disorder handler (fixed-slack baseline or the adaptive quality-driven
+// handlers from internal/core), and a windowed aggregate or a sliding-
+// window join.
+//
+// Two executors are provided. Run is synchronous and deterministic — the
+// experiment harness uses it so results are reproducible bit for bit.
+// RunConcurrent executes the same query as a goroutine pipeline connected
+// by channels, streaming results to a callback as they are produced — the
+// deployment shape a real application would use.
+package cq
+
+import (
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// AggQuery is a single-stream windowed-aggregate continuous query.
+// Construct with New, chain option methods, then call Run or
+// RunConcurrent.
+type AggQuery struct {
+	source    stream.Source
+	filter    func(stream.Tuple) bool
+	mapFn     func(stream.Tuple) stream.Tuple
+	handler   buffer.Handler
+	spec      window.Spec
+	agg       window.Factory
+	policy    window.LatePolicy
+	refineFor stream.Time
+	keepInput bool
+	grouped   bool
+
+	hasWindow bool
+}
+
+// New starts building a query over the given arrival-ordered source.
+func New(source stream.Source) *AggQuery {
+	return &AggQuery{source: source}
+}
+
+// Filter keeps only tuples for which f returns true.
+func (q *AggQuery) Filter(f func(stream.Tuple) bool) *AggQuery {
+	q.filter = f
+	return q
+}
+
+// Map transforms each tuple before windowing.
+func (q *AggQuery) Map(f func(stream.Tuple) stream.Tuple) *AggQuery {
+	q.mapFn = f
+	return q
+}
+
+// Handle sets the disorder handler. Defaults to no handling (K = 0).
+func (q *AggQuery) Handle(h buffer.Handler) *AggQuery {
+	q.handler = h
+	return q
+}
+
+// Window sets the sliding-window aggregate evaluated by the query.
+func (q *AggQuery) Window(spec window.Spec, agg window.Factory) *AggQuery {
+	q.spec, q.agg, q.hasWindow = spec, agg, true
+	return q
+}
+
+// Refine switches the window operator to RefineLate with the given
+// retention horizon: late tuples re-emit corrected results instead of
+// being dropped.
+func (q *AggQuery) Refine(horizon stream.Time) *AggQuery {
+	q.policy, q.refineFor = window.RefineLate, horizon
+	return q
+}
+
+// KeepInput retains the (post filter/map) input tuples on the report so
+// callers can compute oracle ground truth.
+func (q *AggQuery) KeepInput() *AggQuery {
+	q.keepInput = true
+	return q
+}
+
+// GroupBy partitions the window aggregate by tuple key (GROUP BY key):
+// each key gets independent windows sharing one event-time clock. Results
+// land in AggReport.Keyed instead of AggReport.Results. Only the
+// synchronous Run executor supports grouped queries.
+func (q *AggQuery) GroupBy() *AggQuery {
+	q.grouped = true
+	return q
+}
+
+func (q *AggQuery) validate() error {
+	if q.source == nil {
+		return errors.New("cq: query needs a source")
+	}
+	if !q.hasWindow {
+		return errors.New("cq: query needs a Window stage")
+	}
+	if err := q.spec.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AggReport is the outcome of executing an AggQuery.
+type AggReport struct {
+	Results  []window.Result
+	Keyed    []window.KeyedResult // grouped queries only
+	Handler  buffer.Stats
+	Op       window.OpStats
+	Input    []stream.Tuple // only when KeepInput was set
+	Disorder stream.DisorderStats
+	// PreFlush is the number of leading Results (or Keyed results, for
+	// grouped queries) emitted by stream progress; entries beyond it were
+	// forced out by the end-of-stream flush and carry boundary latencies
+	// (latency metrics skip them).
+	PreFlush int
+}
+
+// Oracle computes exact ground-truth results for the report's input; the
+// query must have been built with KeepInput.
+func (r *AggReport) Oracle(spec window.Spec, agg window.Factory) []window.Result {
+	return window.Oracle(spec, agg, r.Input)
+}
+
+// Quality compares the report's results against the oracle. The query must
+// have been built with KeepInput.
+func (r *AggReport) Quality(spec window.Spec, agg window.Factory, opts metrics.CompareOpts) metrics.QualityReport {
+	return metrics.Compare(r.Results, r.Oracle(spec, agg), opts)
+}
+
+// KeyedOracle computes exact per-key ground truth; the query must have
+// been built with KeepInput and GroupBy.
+func (r *AggReport) KeyedOracle(spec window.Spec, agg window.Factory) []window.KeyedResult {
+	return window.KeyedOracle(spec, agg, r.Input)
+}
+
+// KeyedQuality compares grouped results against the per-key oracle.
+func (r *AggReport) KeyedQuality(spec window.Spec, agg window.Factory, opts metrics.CompareOpts) metrics.QualityReport {
+	return metrics.CompareKeyed(r.Keyed, r.KeyedOracle(spec, agg), opts)
+}
+
+// Latency summarizes result latency over the results emitted by stream
+// progress (flush-forced boundary results are excluded), skipping warm-up
+// windows. It covers whichever of Results/Keyed the query produced.
+func (r *AggReport) Latency(skipWarmup int) metrics.LatencyReport {
+	if len(r.Keyed) > 0 {
+		flat := make([]window.Result, 0, r.PreFlush)
+		for _, kr := range r.Keyed[:r.PreFlush] {
+			flat = append(flat, kr.Result)
+		}
+		return metrics.Latency(flat, skipWarmup)
+	}
+	return metrics.Latency(r.Results[:r.PreFlush], skipWarmup)
+}
+
+// Run executes the query synchronously and deterministically: the source
+// is drained in arrival order on the calling goroutine.
+func (q *AggQuery) Run() (*AggReport, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	handler := q.handler
+	if handler == nil {
+		handler = buffer.Zero()
+	}
+	rep := &AggReport{}
+
+	// The two operator shapes (plain and grouped) share the driving loop
+	// through these three hooks.
+	var observe func(t stream.Tuple, now stream.Time)
+	var flushOp func(now stream.Time)
+	var opStats func() window.OpStats
+	var preFlushLen func() int
+	if q.grouped {
+		op := window.NewKeyedOp(q.spec, q.agg, q.policy, q.refineFor)
+		observe = func(t stream.Tuple, now stream.Time) { rep.Keyed = op.Observe(t, now, rep.Keyed) }
+		flushOp = func(now stream.Time) { rep.Keyed = op.Flush(now, rep.Keyed) }
+		opStats = op.Stats
+		preFlushLen = func() int { return len(rep.Keyed) }
+	} else {
+		op := window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		observe = func(t stream.Tuple, now stream.Time) { rep.Results = op.Observe(t, now, rep.Results) }
+		flushOp = func(now stream.Time) { rep.Results = op.Flush(now, rep.Results) }
+		opStats = op.Stats
+		preFlushLen = func() int { return len(rep.Results) }
+	}
+
+	var disClock stream.Time
+	disStarted := false
+	var sumLate, sumDelay float64
+
+	var rel []stream.Tuple
+	var now stream.Time
+	for {
+		it, ok := q.source.Next()
+		if !ok {
+			break
+		}
+		if !it.Heartbeat {
+			t, keep := q.transform(it.Tuple)
+			if !keep {
+				continue
+			}
+			it = stream.DataItem(t)
+			if q.keepInput {
+				rep.Input = append(rep.Input, t)
+			}
+			// Inline disorder measurement (same definition as
+			// stream.MeasureDisorder) to avoid retaining the input when
+			// KeepInput is off.
+			if !disStarted || t.TS > disClock {
+				disClock = t.TS
+				disStarted = true
+			}
+			if late := disClock - t.TS; late > 0 {
+				rep.Disorder.OutOfOrder++
+				sumLate += float64(late)
+				if late > rep.Disorder.MaxLateness {
+					rep.Disorder.MaxLateness = late
+				}
+			}
+			d := t.Delay()
+			sumDelay += float64(d)
+			if d > rep.Disorder.MaxDelay {
+				rep.Disorder.MaxDelay = d
+			}
+			rep.Disorder.N++
+			now = t.Arrival
+		} else if it.Watermark > now {
+			now = it.Watermark
+		}
+
+		rel = handler.Insert(it, rel[:0])
+		for _, t := range rel {
+			observe(t, now)
+		}
+	}
+	rep.PreFlush = preFlushLen()
+	rel = handler.Flush(rel[:0])
+	for _, t := range rel {
+		observe(t, now)
+	}
+	flushOp(now)
+
+	if rep.Disorder.N > 0 {
+		rep.Disorder.MeanLateness = sumLate / float64(rep.Disorder.N)
+		rep.Disorder.MeanDelay = sumDelay / float64(rep.Disorder.N)
+	}
+	rep.Handler = handler.Stats()
+	rep.Op = opStats()
+	return rep, nil
+}
+
+// transform applies filter and map; keep is false when the tuple is
+// filtered out.
+func (q *AggQuery) transform(t stream.Tuple) (out stream.Tuple, keep bool) {
+	if q.filter != nil && !q.filter(t) {
+		return t, false
+	}
+	if q.mapFn != nil {
+		t = q.mapFn(t)
+	}
+	return t, true
+}

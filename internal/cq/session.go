@@ -1,0 +1,122 @@
+package cq
+
+import (
+	"errors"
+
+	"repro/internal/buffer"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// SessionQuery is a per-key session-window continuous query: tuples of one
+// key whose consecutive event timestamps are at most Gap apart form one
+// session, aggregated by Agg.
+type SessionQuery struct {
+	source    stream.Source
+	handler   buffer.Handler
+	gap       stream.Time
+	hold      stream.Time
+	agg       window.Factory
+	keepInput bool
+}
+
+// NewSession starts building a session query.
+func NewSession(source stream.Source, gap stream.Time, agg window.Factory) *SessionQuery {
+	return &SessionQuery{source: source, gap: gap, agg: agg}
+}
+
+// Handle sets the disorder handler (default: none).
+func (q *SessionQuery) Handle(h buffer.Handler) *SessionQuery {
+	q.handler = h
+	return q
+}
+
+// Hold sets the operator-level allowed lateness (see window.SessionOp).
+func (q *SessionQuery) Hold(hold stream.Time) *SessionQuery {
+	q.hold = hold
+	return q
+}
+
+// KeepInput retains input tuples for oracle computation.
+func (q *SessionQuery) KeepInput() *SessionQuery {
+	q.keepInput = true
+	return q
+}
+
+// SessionReport is the outcome of executing a SessionQuery.
+type SessionReport struct {
+	Results  []window.SessionResult
+	Op       window.SessionStats
+	Handler  buffer.Stats
+	Input    []stream.Tuple
+	PreFlush int
+}
+
+// Oracle computes exact sessions; requires KeepInput.
+func (r *SessionReport) Oracle(gap stream.Time, agg window.Factory) []window.SessionResult {
+	return window.SessionOracle(gap, agg, r.Input)
+}
+
+// Quality compares emitted sessions against the oracle; requires KeepInput.
+func (r *SessionReport) Quality(gap stream.Time, agg window.Factory) window.SessionQuality {
+	return window.CompareSessions(r.Results, r.Oracle(gap, agg))
+}
+
+// MeanLatency returns the mean emission lag of progress-emitted sessions.
+func (r *SessionReport) MeanLatency() float64 {
+	if r.PreFlush == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Results[:r.PreFlush] {
+		sum += float64(s.Latency())
+	}
+	return sum / float64(r.PreFlush)
+}
+
+// Run executes the session query synchronously.
+func (q *SessionQuery) Run() (*SessionReport, error) {
+	if q.source == nil {
+		return nil, errors.New("cq: session query needs a source")
+	}
+	if q.gap <= 0 {
+		return nil, errors.New("cq: session query needs a positive gap")
+	}
+	handler := q.handler
+	if handler == nil {
+		handler = buffer.Zero()
+	}
+	op := window.NewSessionOp(q.gap, q.hold, q.agg)
+	rep := &SessionReport{}
+	var rel []stream.Tuple
+	var now stream.Time
+	for {
+		it, ok := q.source.Next()
+		if !ok {
+			break
+		}
+		if !it.Heartbeat {
+			if q.keepInput {
+				rep.Input = append(rep.Input, it.Tuple)
+			}
+			if it.Tuple.Arrival > now {
+				now = it.Tuple.Arrival
+			}
+		} else if it.Watermark > now {
+			now = it.Watermark
+		}
+		rel = handler.Insert(it, rel[:0])
+		for _, t := range rel {
+			rep.Results = op.Observe(t, now, rep.Results)
+		}
+	}
+	rep.PreFlush = len(rep.Results)
+	rel = handler.Flush(rel[:0])
+	for _, t := range rel {
+		rep.Results = op.Observe(t, now, rep.Results)
+	}
+	rep.Results = op.Flush(now, rep.Results)
+	rep.Op = op.Stats()
+	rep.Handler = handler.Stats()
+	return rep, nil
+}

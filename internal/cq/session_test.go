@@ -1,0 +1,109 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/delay"
+	"repro/internal/gen"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// sessionWorkload produces a keyed stream with explicit session structure:
+// bursts of activity separated by long gaps.
+func sessionWorkload(n int, seed uint64) []stream.Tuple {
+	rng := stats.NewRNG(seed)
+	var tuples []stream.Tuple
+	ts := stream.Time(0)
+	for i := 0; i < n; i++ {
+		gap := stream.Time(rng.Intn(20))
+		if rng.Intn(25) == 0 {
+			gap += 200 // session break (gap threshold 50 in tests)
+		}
+		ts += gap
+		d := delay.ParetoWithMean(60, 1.8)
+		tuples = append(tuples, stream.Tuple{
+			TS:      ts,
+			Arrival: ts + stream.Time(d.Delay(ts, rng)),
+			Seq:     uint64(i),
+			Key:     uint64(rng.Intn(8)),
+			Value:   1,
+		})
+	}
+	stream.SortByArrival(tuples)
+	return tuples
+}
+
+func TestSessionQueryValidates(t *testing.T) {
+	if _, err := NewSession(nil, 50, window.Sum()).Run(); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	src := gen.Config{N: 1, Seed: 1}.Source()
+	if _, err := NewSession(src, 0, window.Sum()).Run(); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+}
+
+func TestSessionQueryExactWithBigSlack(t *testing.T) {
+	tuples := sessionWorkload(5000, 61)
+	rep, err := NewSession(stream.FromTuples(tuples), 50, window.Sum()).
+		Handle(buffer.NewKSlack(1 << 40)).
+		KeepInput().
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Quality(50, window.Sum())
+	if q.BoundaryAccuracy() != 1 || q.Splits != 0 || q.Missing != 0 {
+		t.Fatalf("fully buffered session query not exact: %v", q)
+	}
+}
+
+func TestSessionQueryDisorderDamagesBoundaries(t *testing.T) {
+	tuples := sessionWorkload(5000, 62)
+	rep, err := NewSession(stream.FromTuples(tuples), 50, window.Sum()).KeepInput().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Quality(50, window.Sum())
+	if q.BoundaryAccuracy() >= 0.999 && q.Splits == 0 {
+		t.Fatalf("no structural damage without handling: %v", q)
+	}
+	if rep.Op.LateDrops == 0 {
+		t.Fatal("no late drops recorded")
+	}
+}
+
+func TestSessionQueryHoldVsBuffer(t *testing.T) {
+	// Operator-level hold and upstream buffering should both repair
+	// boundaries; verify each beats no handling.
+	tuples := sessionWorkload(5000, 63)
+	gap := stream.Time(50)
+
+	acc := func(rep *SessionReport) float64 { return rep.Quality(gap, window.Sum()).BoundaryAccuracy() }
+
+	raw, err := NewSession(stream.FromTuples(tuples), gap, window.Sum()).KeepInput().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := NewSession(stream.FromTuples(tuples), gap, window.Sum()).Hold(2000).KeepInput().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := NewSession(stream.FromTuples(tuples), gap, window.Sum()).
+		Handle(buffer.NewKSlack(2000)).KeepInput().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc(held) <= acc(raw) {
+		t.Fatalf("hold did not help: raw %v held %v", acc(raw), acc(held))
+	}
+	if acc(buffered) <= acc(raw) {
+		t.Fatalf("buffer did not help: raw %v buffered %v", acc(raw), acc(buffered))
+	}
+	if raw.MeanLatency() >= held.MeanLatency() {
+		t.Fatalf("hold should cost latency: raw %v held %v", raw.MeanLatency(), held.MeanLatency())
+	}
+}

@@ -1,0 +1,24 @@
+package cql_test
+
+import (
+	"fmt"
+
+	"repro/internal/cql"
+)
+
+// Example shows the query language round trip: parse a statement, inspect
+// its pieces, print its canonical form.
+func Example() {
+	q, err := cql.Parse(`
+		SELECT p95(value) FROM cdr GROUP BY key
+		WINDOW 30s SLIDE 5s
+		QUALITY 2%`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.AggName, q.Spec.Size, q.Spec.Slide, q.Quality)
+	fmt.Println(q.String())
+	// Output:
+	// p95 30000 5000 0.02
+	// SELECT p95(value) FROM cdr GROUP BY key WINDOW 30s SLIDE 5s QUALITY 2%
+}

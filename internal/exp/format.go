@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown (title as a
+// heading, notes as a trailing list).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Cols, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Cols)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV: a comment line with the title, the
+// header row, then data rows. Notes are omitted (CSV is for plotting).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Write renders the table in the named format: "text" (default aligned
+// columns), "md", or "csv".
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		_, err := t.WriteTo(w)
+		return err
+	case "md", "markdown":
+		return t.WriteMarkdown(w)
+	case "csv":
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("exp: unknown format %q (want text, md or csv)", format)
+	}
+}

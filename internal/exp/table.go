@@ -1,0 +1,108 @@
+// Package exp defines the reconstructed evaluation suite R1–R9 (see
+// DESIGN.md §4): each experiment builds its workload, executes every
+// compared configuration through the cq engine, and returns plain-text
+// tables with the rows/series a paper figure or table would plot.
+// cmd/experiments runs the suite at full scale; the bench targets in
+// bench_test.go re-run each experiment at reduced scale.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment output: a titled, column-aligned text table.
+type Table struct {
+	ID    string // experiment id, e.g. "R1"
+	Title string
+	Cols  []string
+	Rows  [][]string
+	Notes []string // expected-shape commentary printed under the table
+}
+
+// AddRow appends a formatted row; values are used as-is.
+func (t *Table) AddRow(vals ...string) {
+	t.Rows = append(t.Rows, vals)
+}
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(v)
+			}
+			if i == 0 { // left-align the label column
+				b.WriteString(v)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Formatting helpers shared by experiments.
+
+// F formats a float with the given precision.
+func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.3f%%", 100*v) }
+
+// PctC formats a fraction as a coarse percentage (compliance etc.).
+func PctC(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// I formats an int64.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Ms formats a stream-time value (ms by convention) in seconds when large.
+func Ms(v float64) string {
+	if v >= 10000 {
+		return fmt.Sprintf("%.2fs", v/1000)
+	}
+	return fmt.Sprintf("%.0fms", v)
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stream"
+)
+
+// Trace I/O: record a generated stream to CSV and replay it later, so that
+// experiments can be repeated bit-for-bit and inspected with standard
+// tooling. The format is one header row followed by
+// ts,arrival,seq,key,value rows in arrival order.
+
+var traceHeader = []string{"ts", "arrival", "seq", "key", "value"}
+
+// WriteTrace writes tuples (any order; typically arrival order) as CSV.
+func WriteTrace(w io.Writer, tuples []stream.Tuple) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("gen: writing trace header: %w", err)
+	}
+	row := make([]string, 5)
+	for _, t := range tuples {
+		row[0] = strconv.FormatInt(t.TS, 10)
+		row[1] = strconv.FormatInt(t.Arrival, 10)
+		row[2] = strconv.FormatUint(t.Seq, 10)
+		row[3] = strconv.FormatUint(t.Key, 10)
+		row[4] = strconv.FormatFloat(t.Value, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("gen: writing trace row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]stream.Tuple, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("gen: reading trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("gen: bad trace header column %d: got %q, want %q", i, header[i], want)
+		}
+	}
+	var out []stream.Tuple
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: reading trace: %w", err)
+		}
+		t, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("gen: trace line %d: %w", line, err)
+		}
+		out = append(out, t)
+	}
+}
+
+func parseRow(row []string) (stream.Tuple, error) {
+	var t stream.Tuple
+	var err error
+	if t.TS, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return t, fmt.Errorf("ts: %w", err)
+	}
+	if t.Arrival, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+		return t, fmt.Errorf("arrival: %w", err)
+	}
+	if t.Seq, err = strconv.ParseUint(row[2], 10, 64); err != nil {
+		return t, fmt.Errorf("seq: %w", err)
+	}
+	if t.Key, err = strconv.ParseUint(row[3], 10, 64); err != nil {
+		return t, fmt.Errorf("key: %w", err)
+	}
+	if t.Value, err = strconv.ParseFloat(row[4], 64); err != nil {
+		return t, fmt.Errorf("value: %w", err)
+	}
+	return t, nil
+}

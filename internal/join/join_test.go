@@ -1,0 +1,235 @@
+package join
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func lt(ts stream.Time, seq uint64, key uint64) Tagged {
+	return Tagged{Tuple: stream.Tuple{TS: ts, Arrival: ts, Seq: seq, Key: key}, Side: Left}
+}
+
+func rt(ts stream.Time, seq uint64, key uint64) Tagged {
+	return Tagged{Tuple: stream.Tuple{TS: ts, Arrival: ts, Seq: seq, Key: key}, Side: Right}
+}
+
+func runJoin(j *Join, in []Tagged) []Result {
+	var out []Result
+	for _, t := range in {
+		out = j.Insert(t, t.Arrival, out)
+	}
+	return out
+}
+
+func TestJoinBasicBandMatch(t *testing.T) {
+	j := New(Config{Band: 10})
+	out := runJoin(j, []Tagged{lt(100, 0, 0), rt(105, 0, 0), rt(150, 1, 0), lt(155, 1, 0)})
+	if len(out) != 2 {
+		t.Fatalf("emitted %d pairs, want 2: %v", len(out), out)
+	}
+	if out[0].L.Seq != 0 || out[0].R.Seq != 0 {
+		t.Fatalf("pair 0: %+v", out[0])
+	}
+	if out[1].L.Seq != 1 || out[1].R.Seq != 1 {
+		t.Fatalf("pair 1: %+v", out[1])
+	}
+}
+
+func TestJoinBandBoundary(t *testing.T) {
+	j := New(Config{Band: 10})
+	// Exactly Band apart matches; Band+1 does not.
+	out := runJoin(j, []Tagged{lt(100, 0, 0), rt(110, 0, 0), lt(200, 1, 0), rt(211, 1, 0)})
+	if len(out) != 1 {
+		t.Fatalf("emitted %d pairs, want 1 (boundary inclusive): %v", len(out), out)
+	}
+}
+
+func TestJoinKeyMatch(t *testing.T) {
+	j := New(Config{Band: 10, KeyMatch: true})
+	out := runJoin(j, []Tagged{lt(100, 0, 1), rt(101, 0, 2), rt(102, 1, 1)})
+	if len(out) != 1 {
+		t.Fatalf("key-matched join emitted %d, want 1", len(out))
+	}
+	if out[0].R.Key != 1 {
+		t.Fatalf("joined across keys: %+v", out[0])
+	}
+}
+
+func TestJoinLatency(t *testing.T) {
+	j := New(Config{Band: 10})
+	var out []Result
+	out = j.Insert(lt(100, 0, 0), 100, out)
+	out = j.Insert(Tagged{Tuple: stream.Tuple{TS: 105, Arrival: 130, Seq: 0}, Side: Right}, 130, out)
+	if len(out) != 1 {
+		t.Fatalf("no pair: %v", out)
+	}
+	if got := out[0].Latency(); got != 25 { // 130 - max(100,105)
+		t.Fatalf("latency = %d, want 25", got)
+	}
+}
+
+func TestJoinExpiry(t *testing.T) {
+	j := New(Config{Band: 10})
+	var out []Result
+	out = j.Insert(lt(100, 0, 0), 100, out)
+	out = j.Insert(rt(200, 1, 0), 200, out) // advances clock; left@100 expired
+	out = j.Insert(rt(105, 2, 0), 201, out) // straggler: partner gone
+	if len(out) != 0 {
+		t.Fatalf("expired state still matched: %v", out)
+	}
+}
+
+func TestJoinMissAccounting(t *testing.T) {
+	j := New(Config{Band: 10, RetainFor: 1000})
+	var out []Result
+	out = j.Insert(lt(100, 0, 0), 100, out)
+	out = j.Insert(rt(200, 1, 0), 200, out)
+	out = j.Insert(rt(105, 2, 0), 201, out) // would have matched left@100
+	if len(out) != 0 {
+		t.Fatalf("unexpected pairs: %v", out)
+	}
+	s := j.Stats()
+	if s.Missed != 1 {
+		t.Fatalf("Missed = %d, want 1 (%v)", s.Missed, s)
+	}
+	if got := s.Recall(); got != 0 {
+		t.Fatalf("Recall = %v, want 0", got)
+	}
+}
+
+func TestJoinRecallPerfectWhenOrdered(t *testing.T) {
+	// Fully ordered interleaved input loses nothing.
+	rng := stats.NewRNG(501)
+	var in []Tagged
+	ts := stream.Time(0)
+	for i := 0; i < 2000; i++ {
+		ts += stream.Time(rng.Intn(5))
+		tg := Tagged{Tuple: stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i)}, Side: Side(i % 2)}
+		in = append(in, tg)
+	}
+	j := New(Config{Band: 8, RetainFor: 500})
+	runJoin(j, in)
+	if s := j.Stats(); s.Missed != 0 || s.Recall() != 1 {
+		t.Fatalf("ordered input missed pairs: %v", s)
+	}
+}
+
+func TestJoinMatchesOracleOnOrderedInput(t *testing.T) {
+	rng := stats.NewRNG(503)
+	f := func(n uint8) bool {
+		var left, right []stream.Tuple
+		var in []Tagged
+		ts := stream.Time(0)
+		count := int(n%100) + 2
+		for i := 0; i < count; i++ {
+			ts += stream.Time(rng.Intn(6))
+			tp := stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i), Key: uint64(rng.Intn(3))}
+			side := Side(rng.Intn(2))
+			if side == Left {
+				left = append(left, tp)
+			} else {
+				right = append(right, tp)
+			}
+			in = append(in, Tagged{Tuple: tp, Side: side})
+		}
+		cfg := Config{Band: 10, KeyMatch: true}
+		j := New(cfg)
+		emitted := PairSet(runJoin(j, in))
+		oracle := OraclePairs(cfg, left, right)
+		rep := metrics.PairMetrics(emitted, oracle)
+		return rep.Recall == 1 && rep.Precision == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinStateBounded(t *testing.T) {
+	j := New(Config{Band: 50})
+	ts := stream.Time(0)
+	for i := 0; i < 50000; i++ {
+		ts += 1
+		j.Insert(Tagged{Tuple: stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i)}, Side: Side(i % 2)}, ts, nil)
+	}
+	// Band 50 with 1 tuple/unit: state should stay near ~100, never grow
+	// unboundedly.
+	if j.StateSize() > 500 {
+		t.Fatalf("live state grew to %d", j.StateSize())
+	}
+	if j.Stats().MaxLiveState > 1000 {
+		t.Fatalf("max live state %d", j.Stats().MaxLiveState)
+	}
+}
+
+func TestJoinPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("band 0 did not panic")
+			}
+		}()
+		New(Config{Band: 0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad side did not panic")
+			}
+		}()
+		j := New(Config{Band: 1})
+		j.Insert(Tagged{Side: 5}, 0, nil)
+	}()
+}
+
+func TestJoinStrings(t *testing.T) {
+	j := New(Config{Band: 3, KeyMatch: true})
+	if s := j.String(); !strings.Contains(s, "band=3") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := j.Stats().String(); !strings.Contains(s, "join{") {
+		t.Fatalf("Stats.String = %q", s)
+	}
+}
+
+func TestOraclePairsBruteForce(t *testing.T) {
+	rng := stats.NewRNG(507)
+	f := func(n uint8) bool {
+		count := int(n%60) + 1
+		var left, right []stream.Tuple
+		for i := 0; i < count; i++ {
+			tp := stream.Tuple{TS: stream.Time(rng.Intn(100)), Seq: uint64(i), Key: uint64(rng.Intn(2))}
+			if rng.Intn(2) == 0 {
+				left = append(left, tp)
+			} else {
+				right = append(right, tp)
+			}
+		}
+		cfg := Config{Band: 7, KeyMatch: true}
+		got := OraclePairs(cfg, left, right)
+		want := make(map[metrics.Pair]struct{})
+		for _, l := range left {
+			for _, r := range right {
+				if l.Key == r.Key && within(l, r, cfg.Band) {
+					want[metrics.Pair{Left: l.Seq, Right: r.Seq}] = struct{}{}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for p := range want {
+			if _, ok := got[p]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

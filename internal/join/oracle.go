@@ -1,0 +1,59 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// OraclePairs computes the exact set of matching pairs between two tuple
+// slices under the given configuration: every (l, r) with equal storage
+// keys and |l.TS − r.TS| <= Band. It runs in O(n log n + output) via a
+// per-key two-pointer band scan and is the ground truth for recall and
+// precision.
+func OraclePairs(cfg Config, left, right []stream.Tuple) map[metrics.Pair]struct{} {
+	byKeyL := bucket(cfg, left)
+	byKeyR := bucket(cfg, right)
+	out := make(map[metrics.Pair]struct{})
+	for key, ls := range byKeyL {
+		rs, ok := byKeyR[key]
+		if !ok {
+			continue
+		}
+		lo := 0
+		for _, l := range ls {
+			// Advance lo past right tuples below the band.
+			for lo < len(rs) && rs[lo].TS < l.TS-cfg.Band {
+				lo++
+			}
+			for i := lo; i < len(rs) && rs[i].TS <= l.TS+cfg.Band; i++ {
+				out[metrics.Pair{Left: l.Seq, Right: rs[i].Seq}] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+func bucket(cfg Config, ts []stream.Tuple) map[uint64][]stream.Tuple {
+	m := make(map[uint64][]stream.Tuple)
+	for _, t := range ts {
+		k := cfg.storageKey(t)
+		m[k] = append(m[k], t)
+	}
+	for k := range m {
+		s := m[k]
+		sort.Slice(s, func(i, j int) bool { return s[i].TS < s[j].TS })
+	}
+	return m
+}
+
+// PairSet converts emitted join results into the pair-set form consumed by
+// metrics.PairMetrics.
+func PairSet(results []Result) map[metrics.Pair]struct{} {
+	out := make(map[metrics.Pair]struct{}, len(results))
+	for _, r := range results {
+		out[metrics.Pair{Left: r.L.Seq, Right: r.R.Seq}] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// LatencyReport summarizes result latency (stream-time units between a
+// window's event-time end and its emission position).
+type LatencyReport struct {
+	Results int
+	Mean    float64
+	P50     float64
+	P95     float64
+	P99     float64
+	Max     float64
+}
+
+// String renders the report.
+func (l LatencyReport) String() string {
+	return fmt.Sprintf("latency{n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.0f}",
+		l.Results, l.Mean, l.P50, l.P95, l.P99, l.Max)
+}
+
+// Latency summarizes the latency of primary results, skipping the first
+// skipWarmup windows by emission order.
+func Latency(results []window.Result, skipWarmup int) LatencyReport {
+	var ls []float64
+	var w stats.Welford
+	seen := 0
+	for _, r := range results {
+		if r.Refinement {
+			continue
+		}
+		seen++
+		if seen <= skipWarmup {
+			continue
+		}
+		l := float64(r.Latency())
+		ls = append(ls, l)
+		w.Add(l)
+	}
+	rep := LatencyReport{Results: len(ls)}
+	if len(ls) == 0 {
+		return rep
+	}
+	rep.Mean = w.Mean()
+	rep.Max = w.Max()
+	rep.P50 = stats.Percentile(ls, 0.50)
+	rep.P95 = stats.Percentile(ls, 0.95)
+	rep.P99 = stats.Percentile(ls, 0.99)
+	return rep
+}
+
+// Pair identifies one join output by the sequence numbers of its left and
+// right constituents.
+type Pair struct {
+	Left, Right uint64
+}
+
+// PairReport summarizes join result quality against the oracle pair set.
+type PairReport struct {
+	Emitted   int
+	Expected  int
+	TruePos   int
+	Recall    float64 // fraction of oracle pairs that were emitted
+	Precision float64 // fraction of emitted pairs present in the oracle
+}
+
+// String renders the report.
+func (p PairReport) String() string {
+	return fmt.Sprintf("pairs{emitted=%d expected=%d recall=%.4f precision=%.4f}",
+		p.Emitted, p.Expected, p.Recall, p.Precision)
+}
+
+// PairMetrics compares an emitted pair set against the oracle pair set.
+func PairMetrics(emitted, oracle map[Pair]struct{}) PairReport {
+	rep := PairReport{Emitted: len(emitted), Expected: len(oracle)}
+	for p := range emitted {
+		if _, ok := oracle[p]; ok {
+			rep.TruePos++
+		}
+	}
+	if rep.Expected > 0 {
+		rep.Recall = float64(rep.TruePos) / float64(rep.Expected)
+	} else {
+		rep.Recall = 1
+	}
+	if rep.Emitted > 0 {
+		rep.Precision = float64(rep.TruePos) / float64(rep.Emitted)
+	} else {
+		rep.Precision = 1
+	}
+	return rep
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/window"
+)
+
+func res(idx int64, value float64, count int64, latency int64) window.Result {
+	return window.Result{
+		Idx: idx, Start: idx * 10, End: idx*10 + 10,
+		Value: value, Count: count, EmitArrival: idx*10 + 10 + latency,
+	}
+}
+
+func TestCompareExactMatch(t *testing.T) {
+	oracle := []window.Result{res(0, 10, 5, 0), res(1, 20, 5, 0)}
+	emitted := []window.Result{res(0, 10, 5, 3), res(1, 20, 5, 3)}
+	q := Compare(emitted, oracle, CompareOpts{})
+	if q.Windows != 2 || q.MeanRelErr != 0 || q.MaxRelErr != 0 {
+		t.Fatalf("exact compare: %+v", q)
+	}
+	if q.ExactWindows != 2 || q.Compliance != 1 {
+		t.Fatalf("exact compare counters: %+v", q)
+	}
+}
+
+func TestCompareRelativeError(t *testing.T) {
+	oracle := []window.Result{res(0, 100, 10, 0), res(1, 200, 10, 0)}
+	emitted := []window.Result{res(0, 90, 9, 0), res(1, 200, 10, 0)}
+	q := Compare(emitted, oracle, CompareOpts{Theta: 0.05})
+	if math.Abs(q.MaxRelErr-0.1) > 1e-12 {
+		t.Fatalf("MaxRelErr = %v, want 0.1", q.MaxRelErr)
+	}
+	if math.Abs(q.MeanRelErr-0.05) > 1e-12 {
+		t.Fatalf("MeanRelErr = %v, want 0.05", q.MeanRelErr)
+	}
+	// Window 1 (err 0) complies with theta=0.05, window 0 (err 0.1) not.
+	if math.Abs(q.Compliance-0.5) > 1e-12 {
+		t.Fatalf("Compliance = %v, want 0.5", q.Compliance)
+	}
+	// Loss fraction: window 0 lost 1/10, window 1 lost 0.
+	if math.Abs(q.MeanLossFrac-0.05) > 1e-12 {
+		t.Fatalf("MeanLossFrac = %v, want 0.05", q.MeanLossFrac)
+	}
+}
+
+func TestCompareMissingAndSpurious(t *testing.T) {
+	oracle := []window.Result{res(0, 1, 1, 0), res(1, 1, 1, 0)}
+	emitted := []window.Result{res(1, 1, 1, 0), res(7, 9, 1, 0)}
+	q := Compare(emitted, oracle, CompareOpts{})
+	if q.MissingWindows != 1 {
+		t.Fatalf("MissingWindows = %d", q.MissingWindows)
+	}
+	if q.SpuriousWindows != 1 {
+		t.Fatalf("SpuriousWindows = %d", q.SpuriousWindows)
+	}
+	if q.Windows != 1 {
+		t.Fatalf("Windows = %d", q.Windows)
+	}
+}
+
+func TestCompareSkipWarmup(t *testing.T) {
+	oracle := []window.Result{res(0, 100, 1, 0), res(1, 100, 1, 0), res(2, 100, 1, 0)}
+	emitted := []window.Result{res(0, 0, 0, 0), res(1, 100, 1, 0), res(2, 100, 1, 0)}
+	q := Compare(emitted, oracle, CompareOpts{SkipWarmup: 1})
+	if q.Windows != 2 || q.MaxRelErr != 0 {
+		t.Fatalf("warmup not skipped: %+v", q)
+	}
+	// Skipping more than available must not panic.
+	q = Compare(emitted, oracle, CompareOpts{SkipWarmup: 10})
+	if q.Windows != 0 {
+		t.Fatalf("over-skip: %+v", q)
+	}
+}
+
+func TestCompareEmptyOracleWindows(t *testing.T) {
+	oracle := []window.Result{res(0, 0, 0, 0), res(1, 50, 5, 0)}
+	emitted := []window.Result{res(0, 0, 0, 0), res(1, 50, 5, 0)}
+	q := Compare(emitted, oracle, CompareOpts{SkipEmptyOracle: true})
+	if q.Windows != 1 {
+		t.Fatalf("empty-oracle window not skipped: %+v", q)
+	}
+}
+
+func TestCompareNaNHandling(t *testing.T) {
+	// avg of empty window is NaN on both sides -> error 0.
+	oracle := []window.Result{res(0, math.NaN(), 0, 0)}
+	emitted := []window.Result{res(0, math.NaN(), 0, 0)}
+	q := Compare(emitted, oracle, CompareOpts{})
+	if q.MaxRelErr != 0 {
+		t.Fatalf("NaN==NaN should be exact: %+v", q)
+	}
+	// One-sided NaN is total error.
+	emitted = []window.Result{res(0, 5, 1, 0)}
+	q = Compare(emitted, oracle, CompareOpts{})
+	if q.MaxRelErr != 1 {
+		t.Fatalf("one-sided NaN: %+v", q)
+	}
+}
+
+func TestCompareRefinementOverrides(t *testing.T) {
+	oracle := []window.Result{res(0, 100, 10, 0)}
+	primary := res(0, 90, 9, 0)
+	refined := res(0, 100, 10, 5)
+	refined.Refinement = true
+	q := Compare([]window.Result{primary, refined}, oracle, CompareOpts{})
+	if q.MaxRelErr != 0 {
+		t.Fatalf("refinement did not override primary: %+v", q)
+	}
+}
+
+func TestRelErrFloor(t *testing.T) {
+	// oracle 0: error normalized by the floor, not by 0.
+	if got := RelErr(1e-12, 0); got > 1e-2 {
+		t.Fatalf("tiny deviation around 0 scored %v", got)
+	}
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelErr(110,100) = %v", got)
+	}
+}
+
+func TestLatencyReport(t *testing.T) {
+	var results []window.Result
+	for i := int64(0); i < 100; i++ {
+		results = append(results, res(i, 1, 1, i)) // latencies 0..99
+	}
+	l := Latency(results, 0)
+	if l.Results != 100 {
+		t.Fatalf("Results = %d", l.Results)
+	}
+	if math.Abs(l.Mean-49.5) > 1e-9 {
+		t.Fatalf("Mean = %v", l.Mean)
+	}
+	if l.Max != 99 {
+		t.Fatalf("Max = %v", l.Max)
+	}
+	if math.Abs(l.P50-49.5) > 1 {
+		t.Fatalf("P50 = %v", l.P50)
+	}
+	if l.P99 < 95 || l.P99 > 99 {
+		t.Fatalf("P99 = %v", l.P99)
+	}
+}
+
+func TestLatencySkipsRefinementsAndWarmup(t *testing.T) {
+	r0 := res(0, 1, 1, 1000)
+	r1 := res(1, 1, 1, 10)
+	ref := res(1, 1, 1, 50)
+	ref.Refinement = true
+	l := Latency([]window.Result{r0, r1, ref}, 1)
+	if l.Results != 1 || l.Mean != 10 {
+		t.Fatalf("latency with warmup/refinements: %+v", l)
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	l := Latency(nil, 0)
+	if l.Results != 0 || l.Mean != 0 {
+		t.Fatalf("empty latency: %+v", l)
+	}
+}
+
+func TestPairMetrics(t *testing.T) {
+	oracle := map[Pair]struct{}{
+		{1, 1}: {}, {2, 2}: {}, {3, 3}: {}, {4, 4}: {},
+	}
+	emitted := map[Pair]struct{}{
+		{1, 1}: {}, {2, 2}: {}, {9, 9}: {},
+	}
+	p := PairMetrics(emitted, oracle)
+	if p.TruePos != 2 {
+		t.Fatalf("TruePos = %d", p.TruePos)
+	}
+	if math.Abs(p.Recall-0.5) > 1e-12 {
+		t.Fatalf("Recall = %v", p.Recall)
+	}
+	if math.Abs(p.Precision-2.0/3) > 1e-12 {
+		t.Fatalf("Precision = %v", p.Precision)
+	}
+}
+
+func TestPairMetricsEmptySets(t *testing.T) {
+	p := PairMetrics(nil, nil)
+	if p.Recall != 1 || p.Precision != 1 {
+		t.Fatalf("empty sets: %+v", p)
+	}
+}
+
+func TestReportStrings(t *testing.T) {
+	if s := (QualityReport{}).String(); !strings.Contains(s, "quality") {
+		t.Fatalf("QualityReport.String = %q", s)
+	}
+	if s := (LatencyReport{}).String(); !strings.Contains(s, "latency") {
+		t.Fatalf("LatencyReport.String = %q", s)
+	}
+	if s := (PairReport{}).String(); !strings.Contains(s, "pairs") {
+		t.Fatalf("PairReport.String = %q", s)
+	}
+}
+
+func TestCompareKeyedBasic(t *testing.T) {
+	mk := func(key uint64, idx int64, v float64) window.KeyedResult {
+		return window.KeyedResult{Key: key, Result: window.Result{Idx: idx, Value: v, Count: 1}}
+	}
+	oracle := []window.KeyedResult{mk(1, 0, 100), mk(2, 0, 200)}
+	emitted := []window.KeyedResult{mk(1, 0, 100), mk(2, 0, 180)}
+	q := CompareKeyed(emitted, oracle, CompareOpts{Theta: 0.05})
+	if q.Windows != 2 {
+		t.Fatalf("Windows = %d", q.Windows)
+	}
+	if math.Abs(q.MeanRelErr-0.05) > 1e-12 {
+		t.Fatalf("MeanRelErr = %v", q.MeanRelErr)
+	}
+	if math.Abs(q.MaxRelErr-0.1) > 1e-12 {
+		t.Fatalf("MaxRelErr = %v", q.MaxRelErr)
+	}
+	// Key with no compared windows counts its missing entries.
+	oracle = append(oracle, mk(3, 0, 1))
+	q = CompareKeyed(emitted, oracle, CompareOpts{})
+	if q.MissingWindows != 1 {
+		t.Fatalf("MissingWindows = %v", q.MissingWindows)
+	}
+}
+
+func TestCompareKeyedEmpty(t *testing.T) {
+	q := CompareKeyed(nil, nil, CompareOpts{})
+	if q.Windows != 0 || q.MeanRelErr != 0 {
+		t.Fatalf("empty: %+v", q)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d, want 100", h.N())
+	}
+	if !almostEqual(h.Mean(), 49.5, 1e-9) {
+		t.Fatalf("Mean = %v, want 49.5", h.Mean())
+	}
+	if h.Max() != 99 {
+		t.Fatalf("Max = %v, want 99", h.Max())
+	}
+	if med := h.Quantile(0.5); math.Abs(med-50) > 10 {
+		t.Fatalf("median = %v, want ~50", med)
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(100)
+	h.Add(5)
+	if h.N() != 3 {
+		t.Fatalf("N = %d, want 3", h.N())
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v, want lo", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("Quantile(1) = %v, want max observed", q)
+	}
+}
+
+func TestHistogramFracAbove(t *testing.T) {
+	h := NewHistogram(0, 1000, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i))
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{-1, 1}, {500, 0.5}, {900, 0.1}, {2000, 0},
+	}
+	for _, c := range cases {
+		if got := h.FracAbove(c.x); math.Abs(got-c.want) > 0.02 {
+			t.Errorf("FracAbove(%v) = %v, want ~%v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramFracAboveOverflowRegion(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(50) // overflow bucket
+	}
+	if got := h.FracAbove(20); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("FracAbove(20) = %v, want 0.5 (overflow mass)", got)
+	}
+	if got := h.FracAbove(60); got != 0 {
+		t.Fatalf("FracAbove beyond max = %v, want 0", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 || h.FracAbove(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	h.Add(300)
+	h.Reset()
+	if h.N() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	h.Add(4)
+	if h.N() != 1 {
+		t.Fatal("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramQuantileAgainstExact(t *testing.T) {
+	rng := NewRNG(59)
+	h := NewHistogram(0, 500, 500)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 50
+		h.Add(xs[i])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := Percentile(xs, q)
+		got := h.Quantile(q)
+		if math.Abs(got-exact) > 0.05*exact+2 {
+			t.Errorf("q=%v: hist %v vs exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(5)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("String() = %q, want count rendered", s)
+	}
+}

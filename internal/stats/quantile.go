@@ -1,0 +1,309 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2 is the P² (P-square) streaming estimator of a single quantile
+// (Jain & Chlamtac 1985). It keeps five markers and adjusts them with a
+// piecewise-parabolic formula, giving O(1) memory and update cost. It is
+// the cheap estimator used on per-tuple hot paths; GK below provides
+// rank-error guarantees when they are needed.
+type P2 struct {
+	p     float64    // target quantile
+	n     int        // observations so far
+	q     [5]float64 // marker heights
+	pos   [5]int     // marker positions (1-based ranks)
+	des   [5]float64 // desired positions
+	dpos  [5]float64 // desired position increments
+	first [5]float64 // initial buffer until 5 samples arrive
+}
+
+// NewP2 returns a P² estimator for quantile p in (0, 1).
+func NewP2(p float64) *P2 {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	e := &P2{p: p}
+	e.dpos = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add incorporates x.
+func (e *P2) Add(x float64) {
+	if e.n < 5 {
+		e.first[e.n] = x
+		e.n++
+		if e.n == 5 {
+			s := e.first
+			sort.Float64s(s[:])
+			e.q = s
+			for i := range e.pos {
+				e.pos[i] = i + 1
+			}
+			e.des = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+	e.n++
+
+	// Find the cell k such that q[k] <= x < q[k+1], extending extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.des {
+		e.des[i] += e.dpos[i]
+	}
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - float64(e.pos[i])
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1
+			if d < 0 {
+				sign = -1
+			}
+			qn := e.parabolic(i, sign)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *P2) parabolic(i, d int) float64 {
+	df := float64(d)
+	num1 := float64(e.pos[i]-e.pos[i-1]) + df
+	num2 := float64(e.pos[i+1]-e.pos[i]) - df
+	den := float64(e.pos[i+1] - e.pos[i-1])
+	t1 := (e.q[i+1] - e.q[i]) / float64(e.pos[i+1]-e.pos[i])
+	t2 := (e.q[i] - e.q[i-1]) / float64(e.pos[i]-e.pos[i-1])
+	return e.q[i] + df/den*(num1*t1+num2*t2)
+}
+
+func (e *P2) linear(i, d int) float64 {
+	return e.q[i] + float64(d)*(e.q[i+d]-e.q[i])/float64(e.pos[i+d]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to the exact quantile of the buffered samples.
+func (e *P2) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := make([]float64, e.n)
+		copy(s, e.first[:e.n])
+		sort.Float64s(s)
+		return percentileSorted(s, e.p)
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations.
+func (e *P2) N() int { return e.n }
+
+// gkEntry is one tuple of the Greenwald–Khanna summary.
+type gkEntry struct {
+	v     float64
+	g     int64 // rmin(v_i) - rmin(v_{i-1})
+	delta int64 // rmax(v_i) - rmin(v_i)
+}
+
+// GK is a Greenwald–Khanna ε-approximate quantile summary: Quantile(q)
+// returns a value whose rank differs from ceil(q·n) by at most ε·n. Memory
+// is O((1/ε)·log(ε·n)). The controller uses it for the lateness-distribution
+// sketch, where rank-error guarantees translate directly into guarantees on
+// the estimated fraction of late tuples.
+type GK struct {
+	eps     float64
+	n       int64
+	entries []gkEntry
+	pending []float64 // small insert buffer to amortize compress cost
+	cumG    []int64   // prefix sums of entry g values; rebuilt lazily
+	dirty   bool      // cumG out of date
+}
+
+// NewGK returns a summary with rank error at most eps in (0, 1).
+func NewGK(eps float64) *GK {
+	if eps <= 0 || eps >= 1 {
+		panic("stats: GK epsilon must be in (0, 1)")
+	}
+	return &GK{eps: eps}
+}
+
+// Add incorporates x.
+func (g *GK) Add(x float64) {
+	g.pending = append(g.pending, x)
+	if len(g.pending) >= g.flushThreshold() {
+		g.flush()
+	}
+}
+
+func (g *GK) flushThreshold() int {
+	t := int(1 / (2 * g.eps))
+	if t < 16 {
+		t = 16
+	}
+	return t
+}
+
+func (g *GK) flush() {
+	if len(g.pending) == 0 {
+		return
+	}
+	sort.Float64s(g.pending)
+	out := make([]gkEntry, 0, len(g.entries)+len(g.pending))
+	i := 0
+	for _, x := range g.pending {
+		for i < len(g.entries) && g.entries[i].v <= x {
+			out = append(out, g.entries[i])
+			i++
+		}
+		var delta int64
+		if len(out) == 0 && i >= len(g.entries) {
+			delta = 0
+		} else if len(out) == 0 || i >= len(g.entries) {
+			delta = 0 // new min or max: exact rank
+		} else {
+			delta = int64(2 * g.eps * float64(g.n)) // interior insertion
+		}
+		out = append(out, gkEntry{v: x, g: 1, delta: delta})
+		g.n++
+	}
+	out = append(out, g.entries[i:]...)
+	g.entries = out
+	g.pending = g.pending[:0]
+	g.dirty = true
+	g.compress()
+}
+
+// compress merges adjacent entries whose combined uncertainty stays within
+// the 2εn band.
+func (g *GK) compress() {
+	if len(g.entries) < 3 {
+		return
+	}
+	g.dirty = true
+	band := int64(2 * g.eps * float64(g.n))
+	out := g.entries[:0]
+	out = append(out, g.entries[0])
+	for i := 1; i < len(g.entries); i++ {
+		e := g.entries[i]
+		last := &out[len(out)-1]
+		// Never merge away the final (max) entry, and keep the first.
+		if len(out) > 1 && i < len(g.entries)-1 && last.g+e.g+e.delta <= band {
+			e.g += last.g
+			out[len(out)-1] = e
+		} else {
+			out = append(out, e)
+		}
+	}
+	g.entries = out
+}
+
+// Quantile returns a value whose rank is within eps*n of q*n.
+func (g *GK) Quantile(q float64) float64 {
+	g.flush()
+	if g.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(g.n)) + 1
+	allow := int64(g.eps * float64(g.n))
+	var rmin int64
+	for i, e := range g.entries {
+		rmin += e.g
+		rmax := rmin + e.delta
+		if target-rmin <= allow && rmax-target <= allow {
+			return e.v
+		}
+		if i == len(g.entries)-1 {
+			break
+		}
+	}
+	return g.entries[len(g.entries)-1].v
+}
+
+// FracAbove returns an approximation of the fraction of observations
+// strictly greater than x, within the summary's rank error. It runs in
+// O(log entries) via a cached prefix-rank table, because the adaptive
+// controllers probe it dozens of times per adaptation step.
+func (g *GK) FracAbove(x float64) float64 {
+	g.flush()
+	if g.n == 0 {
+		return 0
+	}
+	g.rebuildRanks()
+	// Largest index with entries[i].v <= x.
+	lo, hi := 0, len(g.entries) // lo = count of entries with v <= x
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.entries[mid].v <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var rank int64
+	if lo > 0 {
+		rank = g.cumG[lo-1]
+	}
+	above := g.n - rank
+	if above < 0 {
+		above = 0
+	}
+	return float64(above) / float64(g.n)
+}
+
+func (g *GK) rebuildRanks() {
+	if !g.dirty && len(g.cumG) == len(g.entries) {
+		return
+	}
+	g.cumG = g.cumG[:0]
+	var sum int64
+	for _, e := range g.entries {
+		sum += e.g
+		g.cumG = append(g.cumG, sum)
+	}
+	g.dirty = false
+}
+
+// N returns the number of observations.
+func (g *GK) N() int64 { return g.n + int64(len(g.pending)) }
+
+// Size returns the number of stored summary entries (after a flush), a
+// measure of the sketch's memory footprint.
+func (g *GK) Size() int {
+	g.flush()
+	return len(g.entries)
+}
+
+// String describes the summary.
+func (g *GK) String() string {
+	return fmt.Sprintf("gk[eps=%g n=%d entries=%d]", g.eps, g.N(), len(g.entries))
+}

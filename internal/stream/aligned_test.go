@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestAlignedMergeFusesMinimum(t *testing.T) {
+	a := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 10, Arrival: 10}),
+		HeartbeatItem(100),
+	})
+	b := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 20, Arrival: 20, Seq: 1}),
+		HeartbeatItem(30),
+	})
+	m := NewAlignedMerge(a, b)
+	var hbs []Time
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		if it.Heartbeat {
+			hbs = append(hbs, it.Watermark)
+		}
+	}
+	// First heartbeat (from a, wm 100) cannot be emitted until b speaks;
+	// when b's wm 30 arrives the fused promise is min(100, 30) = 30...
+	// but by then b has ended, so only a's 100 (a also ended) -> max.
+	if len(hbs) == 0 {
+		t.Fatal("no fused heartbeat emitted")
+	}
+	for i := 1; i < len(hbs); i++ {
+		if hbs[i] <= hbs[i-1] {
+			t.Fatalf("fused watermarks not strictly increasing: %v", hbs)
+		}
+	}
+}
+
+func TestAlignedMergeWithholdsUntilAllSpeak(t *testing.T) {
+	a := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 10, Arrival: 10}),
+		HeartbeatItem(50),
+		DataItem(Tuple{TS: 60, Arrival: 60, Seq: 1}),
+		HeartbeatItem(70),
+	})
+	// b emits tuples (no heartbeat) until late.
+	b := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 5, Arrival: 15, Seq: 2}),
+		DataItem(Tuple{TS: 25, Arrival: 55, Seq: 3}),
+		HeartbeatItem(25),
+	})
+	m := NewAlignedMerge(a, b)
+	var events []Item
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		events = append(events, it)
+	}
+	// No heartbeat may be emitted while b has not yet produced a
+	// watermark: the first heartbeat must come after b's last tuple
+	// (arrival 55), and since b ends right after its watermark, the
+	// fused promise is a's 50 (an ended source stops binding).
+	firstHB := -1
+	lastBTuple := -1
+	for i, it := range events {
+		if it.Heartbeat && firstHB == -1 {
+			firstHB = i
+			if it.Watermark != 50 {
+				t.Fatalf("first fused watermark = %d, want 50 (b ended)", it.Watermark)
+			}
+		}
+		if !it.Heartbeat && it.Tuple.Seq == 3 { // b's last tuple
+			lastBTuple = i
+		}
+	}
+	if firstHB == -1 {
+		t.Fatalf("no heartbeat emitted: %v", events)
+	}
+	if firstHB < lastBTuple {
+		t.Fatalf("heartbeat emitted before b had spoken: %v", events)
+	}
+}
+
+func TestAlignedMergeSwallowsNonProgress(t *testing.T) {
+	a := NewSliceSource([]Item{HeartbeatItem(10), HeartbeatItem(10), HeartbeatItem(10)})
+	b := NewSliceSource([]Item{HeartbeatItem(20), HeartbeatItem(20)})
+	m := NewAlignedMerge(a, b)
+	count := 0
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		if it.Heartbeat {
+			count++
+		}
+	}
+	// Fused min stays 10 after the first emission; later duplicates and
+	// the end-of-stream fold may raise it once more at most.
+	if count > 2 {
+		t.Fatalf("emitted %d heartbeats for constant watermarks", count)
+	}
+}
+
+func TestAlignedMergeEndedSourceStopsConstraining(t *testing.T) {
+	// a ends early with a low watermark; b continues far beyond. Fused
+	// watermarks must eventually exceed a's last promise.
+	a := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 5, Arrival: 5}),
+		HeartbeatItem(10),
+	})
+	bItems := []Item{}
+	for ts := Time(20); ts <= 200; ts += 20 {
+		bItems = append(bItems, DataItem(Tuple{TS: ts, Arrival: ts, Seq: uint64(ts)}))
+		bItems = append(bItems, HeartbeatItem(ts))
+	}
+	b := NewSliceSource(bItems)
+	m := NewAlignedMerge(a, b)
+	var last Time
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		if it.Heartbeat {
+			last = it.Watermark
+		}
+	}
+	if last < 200 {
+		t.Fatalf("ended source still constrains the fused watermark: last = %d", last)
+	}
+}
+
+func TestAlignedMergePreservesTuples(t *testing.T) {
+	a := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 1, Arrival: 1, Seq: 0}),
+		HeartbeatItem(1),
+		DataItem(Tuple{TS: 3, Arrival: 3, Seq: 1}),
+	})
+	b := NewSliceSource([]Item{
+		DataItem(Tuple{TS: 2, Arrival: 2, Seq: 2}),
+		HeartbeatItem(2),
+	})
+	m := NewAlignedMerge(a, b)
+	seen := map[uint64]bool{}
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		if !it.Heartbeat {
+			seen[it.Tuple.Seq] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tuples lost: %v", seen)
+	}
+}

@@ -1,0 +1,236 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Aggregate accumulates the values of one window. Each window instance gets
+// its own Aggregate from a Factory, so implementations need no removal
+// support and may keep per-window state.
+type Aggregate interface {
+	// Add incorporates one tuple value.
+	Add(v float64)
+	// Value returns the current aggregate. Aggregates of an empty window
+	// return the function's identity (0 for count/sum) or NaN where no
+	// identity exists (avg, min, max, quantiles).
+	Value() float64
+	// N returns how many values were added.
+	N() int64
+}
+
+// Factory creates a fresh Aggregate per window. The name identifies the
+// function in experiment tables and on the CLI.
+type Factory struct {
+	Name string
+	New  func() Aggregate
+}
+
+// --- implementations ---
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) Add(float64)    { a.n++ }
+func (a *countAgg) Value() float64 { return float64(a.n) }
+func (a *countAgg) N() int64       { return a.n }
+
+type sumAgg struct {
+	n   int64
+	sum float64
+	c   float64 // Kahan compensation: windows can hold millions of values
+}
+
+func (a *sumAgg) Add(v float64) {
+	a.n++
+	y := v - a.c
+	t := a.sum + y
+	a.c = (t - a.sum) - y
+	a.sum = t
+}
+func (a *sumAgg) Value() float64 { return a.sum }
+func (a *sumAgg) N() int64       { return a.n }
+
+type avgAgg struct{ w stats.Welford }
+
+func (a *avgAgg) Add(v float64) { a.w.Add(v) }
+func (a *avgAgg) Value() float64 {
+	if a.w.N() == 0 {
+		return math.NaN()
+	}
+	return a.w.Mean()
+}
+func (a *avgAgg) N() int64 { return a.w.N() }
+
+type stddevAgg struct{ w stats.Welford }
+
+func (a *stddevAgg) Add(v float64) { a.w.Add(v) }
+func (a *stddevAgg) Value() float64 {
+	if a.w.N() == 0 {
+		return math.NaN()
+	}
+	return a.w.Std()
+}
+func (a *stddevAgg) N() int64 { return a.w.N() }
+
+type minAgg struct {
+	n int64
+	v float64
+}
+
+func (a *minAgg) Add(v float64) {
+	if a.n == 0 || v < a.v {
+		a.v = v
+	}
+	a.n++
+}
+func (a *minAgg) Value() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.v
+}
+func (a *minAgg) N() int64 { return a.n }
+
+type maxAgg struct {
+	n int64
+	v float64
+}
+
+func (a *maxAgg) Add(v float64) {
+	if a.n == 0 || v > a.v {
+		a.v = v
+	}
+	a.n++
+}
+func (a *maxAgg) Value() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.v
+}
+func (a *maxAgg) N() int64 { return a.n }
+
+// quantileAgg computes an exact quantile of the window contents. Windows
+// are bounded, so exact computation (sort at read time) is affordable and
+// keeps the oracle comparison sharp; Value caches the sort until the next
+// Add.
+type quantileAgg struct {
+	p      float64
+	vals   []float64
+	sorted bool
+}
+
+func (a *quantileAgg) Add(v float64) {
+	a.vals = append(a.vals, v)
+	a.sorted = false
+}
+
+func (a *quantileAgg) Value() float64 {
+	if len(a.vals) == 0 {
+		return math.NaN()
+	}
+	if !a.sorted {
+		sort.Float64s(a.vals)
+		a.sorted = true
+	}
+	return stats.PercentileSorted(a.vals, a.p)
+}
+func (a *quantileAgg) N() int64 { return int64(len(a.vals)) }
+
+// distinctAgg counts distinct values (exact, via map).
+type distinctAgg struct {
+	n    int64
+	seen map[float64]struct{}
+}
+
+func (a *distinctAgg) Add(v float64) {
+	if a.seen == nil {
+		a.seen = make(map[float64]struct{})
+	}
+	a.seen[v] = struct{}{}
+	a.n++
+}
+func (a *distinctAgg) Value() float64 { return float64(len(a.seen)) }
+func (a *distinctAgg) N() int64       { return a.n }
+
+// --- factories ---
+
+// Count counts tuples per window.
+func Count() Factory { return Factory{Name: "count", New: func() Aggregate { return &countAgg{} }} }
+
+// Sum sums tuple values (Kahan-compensated).
+func Sum() Factory { return Factory{Name: "sum", New: func() Aggregate { return &sumAgg{} }} }
+
+// Avg averages tuple values.
+func Avg() Factory { return Factory{Name: "avg", New: func() Aggregate { return &avgAgg{} }} }
+
+// StdDev computes the population standard deviation of tuple values.
+func StdDev() Factory { return Factory{Name: "stddev", New: func() Aggregate { return &stddevAgg{} }} }
+
+// Min tracks the minimum tuple value.
+func Min() Factory { return Factory{Name: "min", New: func() Aggregate { return &minAgg{} }} }
+
+// Max tracks the maximum tuple value.
+func Max() Factory { return Factory{Name: "max", New: func() Aggregate { return &maxAgg{} }} }
+
+// Median computes the exact window median.
+func Median() Factory {
+	return Factory{Name: "median", New: func() Aggregate { return &quantileAgg{p: 0.5} }}
+}
+
+// Quantile computes the exact p-quantile of window values; the name
+// renders as e.g. "p95". It panics if p is outside (0, 1).
+func Quantile(p float64) Factory {
+	if p <= 0 || p >= 1 {
+		panic("window: quantile must be in (0, 1)")
+	}
+	return Factory{
+		Name: fmt.Sprintf("p%02.0f", p*100),
+		New:  func() Aggregate { return &quantileAgg{p: p} },
+	}
+}
+
+// Distinct counts distinct window values.
+func Distinct() Factory {
+	return Factory{Name: "distinct", New: func() Aggregate { return &distinctAgg{} }}
+}
+
+// ByName resolves an aggregate factory from its CLI name: count, sum, avg,
+// stddev, min, max, median, distinct, or pNN for a quantile (e.g. p95).
+func ByName(name string) (Factory, error) {
+	switch name {
+	case "count":
+		return Count(), nil
+	case "sum":
+		return Sum(), nil
+	case "avg", "mean":
+		return Avg(), nil
+	case "stddev", "std":
+		return StdDev(), nil
+	case "min":
+		return Min(), nil
+	case "max":
+		return Max(), nil
+	case "median":
+		return Median(), nil
+	case "distinct":
+		return Distinct(), nil
+	}
+	if strings.HasPrefix(name, "p") {
+		if pct, err := strconv.Atoi(name[1:]); err == nil && pct > 0 && pct < 100 {
+			return Quantile(float64(pct) / 100), nil
+		}
+	}
+	return Factory{}, fmt.Errorf("window: unknown aggregate %q", name)
+}
+
+// AllFactories returns the full set of aggregate functions covered by the
+// evaluation (experiment R4).
+func AllFactories() []Factory {
+	return []Factory{Count(), Sum(), Avg(), Min(), Max(), Median(), Quantile(0.95), StdDev()}
+}

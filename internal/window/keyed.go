@@ -1,0 +1,159 @@
+package window
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// KeyedResult is one emitted per-key window result.
+type KeyedResult struct {
+	Key uint64
+	Result
+}
+
+// KeyedOp evaluates one windowed aggregate per key (GROUP BY key): each
+// key gets an independent window lifecycle, but all keys share the
+// operator's event-time clock, so a window [s, e) closes for every key
+// when the clock passes e — matching the semantics of a partitioned
+// continuous query downstream of one disorder handler.
+//
+// Keys emit results only for windows in which they received at least one
+// tuple plus the empty gaps between their own occupied windows (the same
+// contiguity rule as Op, applied per key).
+type KeyedOp struct {
+	spec      Spec
+	agg       Factory
+	policy    LatePolicy
+	refineFor stream.Time
+	ops       map[uint64]*Op
+	clock     stream.Time
+	started   bool
+	scratch   []Result
+}
+
+// NewKeyedOp returns a per-key window operator. It panics on an invalid
+// spec.
+func NewKeyedOp(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time) *KeyedOp {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &KeyedOp{
+		spec: spec, agg: agg, policy: policy, refineFor: refineFor,
+		ops: make(map[uint64]*Op),
+	}
+}
+
+// Spec returns the window specification.
+func (o *KeyedOp) Spec() Spec { return o.spec }
+
+// Keys returns the number of keys with operator state.
+func (o *KeyedOp) Keys() int { return len(o.ops) }
+
+// Observe feeds one tuple, appending emitted per-key results to out. The
+// shared clock advance also closes windows of other keys.
+func (o *KeyedOp) Observe(t stream.Tuple, now stream.Time, out []KeyedResult) []KeyedResult {
+	op, ok := o.ops[t.Key]
+	if !ok {
+		op = NewOp(o.spec, o.agg, o.policy, o.refineFor)
+		o.ops[t.Key] = op
+	}
+	o.scratch = op.Observe(t, now, o.scratch[:0])
+	out = o.appendKeyed(t.Key, out)
+	if !o.started || t.TS > o.clock {
+		o.clock = t.TS
+		o.started = true
+		out = o.advanceOthers(t.Key, now, out)
+	}
+	return out
+}
+
+// Advance moves the shared clock (heartbeat path) and closes windows for
+// every key.
+func (o *KeyedOp) Advance(eventTS, now stream.Time, out []KeyedResult) []KeyedResult {
+	if o.started && eventTS <= o.clock {
+		return out
+	}
+	o.clock = eventTS
+	o.started = true
+	return o.advanceOthers(^uint64(0), now, out) // no key excluded
+}
+
+func (o *KeyedOp) advanceOthers(except uint64, now stream.Time, out []KeyedResult) []KeyedResult {
+	for key, op := range o.ops {
+		if key == except {
+			continue
+		}
+		o.scratch = op.Advance(o.clock, now, o.scratch[:0])
+		out = o.appendKeyedFrom(key, out)
+	}
+	return out
+}
+
+// Flush emits every open window of every key.
+func (o *KeyedOp) Flush(now stream.Time, out []KeyedResult) []KeyedResult {
+	keys := make([]uint64, 0, len(o.ops))
+	for key := range o.ops {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		o.scratch = o.ops[key].Flush(now, o.scratch[:0])
+		out = o.appendKeyedFrom(key, out)
+	}
+	return out
+}
+
+func (o *KeyedOp) appendKeyed(key uint64, out []KeyedResult) []KeyedResult {
+	return o.appendKeyedFrom(key, out)
+}
+
+func (o *KeyedOp) appendKeyedFrom(key uint64, out []KeyedResult) []KeyedResult {
+	for _, r := range o.scratch {
+		out = append(out, KeyedResult{Key: key, Result: r})
+	}
+	return out
+}
+
+// Stats aggregates the per-key operator counters.
+func (o *KeyedOp) Stats() OpStats {
+	var s OpStats
+	for _, op := range o.ops {
+		os := op.Stats()
+		s.TuplesIn += os.TuplesIn
+		s.LateTuples += os.LateTuples
+		s.LateDrops += os.LateDrops
+		s.LateRefined += os.LateRefined
+		s.Emitted += os.Emitted
+		s.Refinements += os.Refinements
+		s.EmptyEmitted += os.EmptyEmitted
+	}
+	return s
+}
+
+// KeyedOracle computes exact per-key results for any-order input.
+func KeyedOracle(spec Spec, agg Factory, tuples []stream.Tuple) []KeyedResult {
+	sorted := make([]stream.Tuple, len(tuples))
+	copy(sorted, tuples)
+	stream.SortByEventTime(sorted)
+	op := NewKeyedOp(spec, agg, DropLate, 0)
+	var out []KeyedResult
+	for _, t := range sorted {
+		out = op.Observe(t, 0, out)
+	}
+	out = op.Flush(0, out)
+	for i := range out {
+		out[i].EmitArrival = out[i].End
+	}
+	return out
+}
+
+// KeyedByIdx indexes keyed results by (key, window index), refinements
+// overwriting primaries.
+func KeyedByIdx(rs []KeyedResult) map[[2]uint64]KeyedResult {
+	m := make(map[[2]uint64]KeyedResult, len(rs))
+	for _, r := range rs {
+		m[[2]uint64{r.Key, uint64(r.Idx)}] = r
+	}
+	return m
+}

@@ -1,0 +1,251 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// LatePolicy says what the operator does with a tuple that belongs to an
+// already-emitted window.
+type LatePolicy int
+
+const (
+	// DropLate discards late contributions: emitted results are final and
+	// the dropped tuples show up as result error. This is the policy whose
+	// error the quality-driven controller bounds.
+	DropLate LatePolicy = iota
+	// RefineLate re-emits an updated result (marked Refinement) for a late
+	// contribution, as long as the window's state is still retained.
+	RefineLate
+)
+
+// String renders the policy.
+func (p LatePolicy) String() string {
+	if p == RefineLate {
+		return "refine"
+	}
+	return "drop"
+}
+
+// Result is one emitted window result.
+type Result struct {
+	Idx         int64       // window index
+	Start, End  stream.Time // event-time interval [Start, End)
+	Value       float64     // aggregate value
+	Count       int64       // tuples contributing
+	EmitArrival stream.Time // arrival-time position at emission
+	Refinement  bool        // re-emission after late tuples (RefineLate only)
+}
+
+// Latency returns the result latency in stream-time units: how far past
+// the window's event-time end the result was emitted. It includes both
+// transport delay and disorder-handling slack.
+func (r Result) Latency() stream.Time { return r.EmitArrival - r.End }
+
+// String renders the result.
+func (r Result) String() string {
+	return fmt.Sprintf("win#%d[%d,%d) %s=%g n=%d lat=%d",
+		r.Idx, r.Start, r.End, map[bool]string{true: "refined", false: "value"}[r.Refinement],
+		r.Value, r.Count, r.Latency())
+}
+
+// OpStats are cumulative operator counters.
+type OpStats struct {
+	TuplesIn     int64 // tuples observed
+	LateTuples   int64 // tuples late for at least one window
+	LateDrops    int64 // (tuple, window) contributions lost to DropLate
+	LateRefined  int64 // (tuple, window) contributions recovered by RefineLate
+	Emitted      int64 // primary results emitted
+	Refinements  int64 // refinement results emitted
+	EmptyEmitted int64 // primary results with zero contributing tuples
+}
+
+// Op evaluates one windowed aggregate over a (mostly) event-time-ordered
+// tuple stream, as produced by a disorder handler. It emits a result for
+// every window index from the first observed window onward, including
+// empty windows, so that downstream quality metrics can align emitted
+// results with the oracle by index.
+type Op struct {
+	spec      Spec
+	agg       Factory
+	policy    LatePolicy
+	refineFor stream.Time // retain emitted state this long past the clock
+
+	open      map[int64]Aggregate
+	retained  map[int64]Aggregate // emitted windows kept for refinement
+	nextEmit  int64
+	haveFirst bool
+	clock     stream.Time
+	started   bool
+	stats     OpStats
+}
+
+// NewOp returns a window operator. refineFor bounds how long (in stream
+// time past the operator clock) emitted window state is retained when
+// policy is RefineLate; it is ignored for DropLate. It panics on an
+// invalid spec.
+func NewOp(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time) *Op {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Op{
+		spec:      spec,
+		agg:       agg,
+		policy:    policy,
+		refineFor: refineFor,
+		open:      make(map[int64]Aggregate),
+		retained:  make(map[int64]Aggregate),
+	}
+}
+
+// Spec returns the operator's window specification.
+func (o *Op) Spec() Spec { return o.spec }
+
+// Stats returns cumulative counters.
+func (o *Op) Stats() OpStats { return o.stats }
+
+// Observe feeds one tuple at arrival-time position now, appending any
+// emitted results to out.
+func (o *Op) Observe(t stream.Tuple, now stream.Time, out []Result) []Result {
+	o.stats.TuplesIn++
+	first, last := o.spec.WindowsFor(t.TS)
+	if !o.haveFirst {
+		o.haveFirst = true
+		o.nextEmit = first
+	}
+
+	late := false
+	for idx := first; idx <= last; idx++ {
+		if idx < o.nextEmit {
+			late = true
+			if o.policy == RefineLate {
+				if agg, ok := o.retained[idx]; ok {
+					agg.Add(t.Value)
+					o.stats.LateRefined++
+					out = append(out, o.result(idx, agg, now, true))
+					o.stats.Refinements++
+					continue
+				}
+			}
+			o.stats.LateDrops++
+			continue
+		}
+		agg, ok := o.open[idx]
+		if !ok {
+			agg = o.agg.New()
+			o.open[idx] = agg
+		}
+		agg.Add(t.Value)
+	}
+	if late {
+		o.stats.LateTuples++
+	}
+	return o.Advance(t.TS, now, out)
+}
+
+// Advance moves the operator's event-time clock to at least eventTS and
+// emits every window that closes, at arrival-time position now. The cq
+// engine calls it for post-buffer progress signals (heartbeats).
+func (o *Op) Advance(eventTS, now stream.Time, out []Result) []Result {
+	if !o.started || eventTS > o.clock {
+		o.clock = eventTS
+		o.started = true
+	}
+	if !o.haveFirst {
+		return out
+	}
+	lastClosed := o.spec.LastClosed(o.clock)
+	for idx := o.nextEmit; idx <= lastClosed; idx++ {
+		out = o.emit(idx, now, out)
+	}
+	o.expireRetained()
+	return out
+}
+
+// Flush emits every still-open window (in index order) at arrival-time
+// position now, regardless of the clock. Call it at end of stream.
+func (o *Op) Flush(now stream.Time, out []Result) []Result {
+	if !o.haveFirst {
+		return out
+	}
+	maxIdx := o.nextEmit - 1
+	for idx := range o.open {
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	for idx := o.nextEmit; idx <= maxIdx; idx++ {
+		out = o.emit(idx, now, out)
+	}
+	return out
+}
+
+// emit produces the primary result for window idx and advances nextEmit.
+func (o *Op) emit(idx int64, now stream.Time, out []Result) []Result {
+	agg := o.open[idx]
+	delete(o.open, idx)
+	if agg == nil {
+		agg = o.agg.New()
+		o.stats.EmptyEmitted++
+	}
+	out = append(out, o.result(idx, agg, now, false))
+	o.stats.Emitted++
+	if o.policy == RefineLate {
+		o.retained[idx] = agg
+	}
+	if idx >= o.nextEmit {
+		o.nextEmit = idx + 1
+	}
+	return out
+}
+
+func (o *Op) result(idx int64, agg Aggregate, now stream.Time, refinement bool) Result {
+	start, end := o.spec.Bounds(idx)
+	return Result{
+		Idx:         idx,
+		Start:       start,
+		End:         end,
+		Value:       agg.Value(),
+		Count:       agg.N(),
+		EmitArrival: now,
+		Refinement:  refinement,
+	}
+}
+
+// expireRetained drops retained window state whose refinement horizon has
+// passed, bounding memory under RefineLate.
+func (o *Op) expireRetained() {
+	if o.policy != RefineLate || len(o.retained) == 0 {
+		return
+	}
+	for idx := range o.retained {
+		_, end := o.spec.Bounds(idx)
+		if end+o.refineFor <= o.clock {
+			delete(o.retained, idx)
+		}
+	}
+}
+
+// SortResults orders results by (window index, refinement flag) — the
+// canonical order used when comparing against the oracle.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Idx != rs[j].Idx {
+			return rs[i].Idx < rs[j].Idx
+		}
+		return !rs[i].Refinement && rs[j].Refinement
+	})
+}
+
+// Primary filters rs to primary (non-refinement) results, preserving order.
+func Primary(rs []Result) []Result {
+	out := rs[:0:0]
+	for _, r := range rs {
+		if !r.Refinement {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package window
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func observeAll(op *Op, tuples []stream.Tuple) []Result {
+	var out []Result
+	var now stream.Time
+	for _, t := range tuples {
+		if t.Arrival > now {
+			now = t.Arrival
+		}
+		out = op.Observe(t, now, out)
+	}
+	return op.Flush(now, out)
+}
+
+func mk(ts stream.Time, v float64) stream.Tuple {
+	return stream.Tuple{TS: ts, Arrival: ts, Value: v}
+}
+
+func TestTumblingSum(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), DropLate, 0)
+	in := []stream.Tuple{mk(1, 1), mk(5, 2), mk(12, 4), mk(25, 8)}
+	out := observeAll(op, in)
+	// Windows: [0,10)=3, [10,20)=4, [20,30)=8.
+	if len(out) != 3 {
+		t.Fatalf("emitted %d results: %v", len(out), out)
+	}
+	wantVals := []float64{3, 4, 8}
+	for i, w := range wantVals {
+		if out[i].Value != w {
+			t.Fatalf("window %d value = %v, want %v", i, out[i].Value, w)
+		}
+	}
+	if out[0].Start != 0 || out[0].End != 10 {
+		t.Fatalf("window 0 bounds [%d,%d)", out[0].Start, out[0].End)
+	}
+}
+
+func TestSlidingCountMultiplicity(t *testing.T) {
+	// Size 10 slide 5: each interior tuple lands in 2 windows.
+	op := NewOp(Spec{Size: 10, Slide: 5}, Count(), DropLate, 0)
+	in := []stream.Tuple{mk(7, 1), mk(30, 1)}
+	out := observeAll(op, in)
+	byIdx := ResultsByIdx(out)
+	// ts=7 is in windows [0,10) idx 0 and [5,15) idx 1.
+	if byIdx[0].Count != 1 || byIdx[1].Count != 1 {
+		t.Fatalf("ts=7 multiplicity wrong: %v", out)
+	}
+}
+
+func TestEmptyWindowsEmitted(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), DropLate, 0)
+	in := []stream.Tuple{mk(5, 1), mk(45, 2)} // windows 1..3 are empty
+	out := observeAll(op, in)
+	if len(out) != 5 {
+		t.Fatalf("emitted %d results, want 5 (incl. empties): %v", len(out), out)
+	}
+	for _, idx := range []int64{1, 2, 3} {
+		r := ResultsByIdx(out)[idx]
+		if r.Count != 0 || r.Value != 0 {
+			t.Fatalf("empty window %d: %+v", idx, r)
+		}
+	}
+	if got := op.Stats().EmptyEmitted; got != 3 {
+		t.Fatalf("EmptyEmitted = %d, want 3", got)
+	}
+}
+
+func TestEmissionTriggeredByClock(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), DropLate, 0)
+	var out []Result
+	out = op.Observe(mk(5, 1), 5, out)
+	if len(out) != 0 {
+		t.Fatal("window emitted before its end passed")
+	}
+	out = op.Observe(mk(9, 1), 9, out)
+	if len(out) != 0 {
+		t.Fatal("window emitted at ts=9 < end=10")
+	}
+	out = op.Observe(mk(10, 1), 11, out)
+	if len(out) != 1 || out[0].Idx != 0 || out[0].Value != 2 {
+		t.Fatalf("window not emitted when clock hit end: %v", out)
+	}
+	if out[0].EmitArrival != 11 {
+		t.Fatalf("EmitArrival = %d, want 11", out[0].EmitArrival)
+	}
+	if out[0].Latency() != 1 {
+		t.Fatalf("Latency = %d, want 1", out[0].Latency())
+	}
+}
+
+func TestAdvanceClosesWindows(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Count(), DropLate, 0)
+	var out []Result
+	out = op.Observe(mk(3, 1), 3, out)
+	out = op.Advance(10, 20, out)
+	if len(out) != 1 || out[0].Count != 1 || out[0].EmitArrival != 20 {
+		t.Fatalf("Advance did not close window: %v", out)
+	}
+}
+
+func TestAdvanceBeforeFirstTupleIsNoop(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Count(), DropLate, 0)
+	if out := op.Advance(100, 100, nil); len(out) != 0 {
+		t.Fatalf("Advance with no tuples emitted: %v", out)
+	}
+}
+
+func TestLateTupleDropped(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), DropLate, 0)
+	var out []Result
+	out = op.Observe(mk(5, 1), 5, out)
+	out = op.Observe(mk(12, 1), 12, out) // closes window 0
+	n := len(out)
+	out = op.Observe(stream.Tuple{TS: 7, Arrival: 13, Value: 100}, 13, out) // late for window 0
+	if len(out) != n {
+		t.Fatalf("late tuple produced output under DropLate: %v", out[n:])
+	}
+	s := op.Stats()
+	if s.LateTuples != 1 || s.LateDrops != 1 {
+		t.Fatalf("late counters: %+v", s)
+	}
+	// Window 0's emitted value must not include the late tuple.
+	if out[0].Value != 1 {
+		t.Fatalf("emitted value changed: %v", out[0])
+	}
+}
+
+func TestLateTupleRefined(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), RefineLate, 1000)
+	var out []Result
+	out = op.Observe(mk(5, 1), 5, out)
+	out = op.Observe(mk(12, 1), 12, out)
+	out = op.Observe(stream.Tuple{TS: 7, Arrival: 13, Value: 100}, 13, out)
+	var refinements []Result
+	for _, r := range out {
+		if r.Refinement {
+			refinements = append(refinements, r)
+		}
+	}
+	if len(refinements) != 1 {
+		t.Fatalf("refinements = %v", refinements)
+	}
+	if refinements[0].Idx != 0 || refinements[0].Value != 101 {
+		t.Fatalf("refined result: %+v", refinements[0])
+	}
+	s := op.Stats()
+	if s.LateRefined != 1 || s.Refinements != 1 {
+		t.Fatalf("refine counters: %+v", s)
+	}
+}
+
+func TestRefineHorizonExpires(t *testing.T) {
+	op := NewOp(Spec{Size: 10, Slide: 10}, Sum(), RefineLate, 5)
+	var out []Result
+	out = op.Observe(mk(5, 1), 5, out)
+	out = op.Observe(mk(12, 1), 12, out) // window 0 emitted, retained until clock 10+5
+	out = op.Observe(mk(30, 1), 30, out) // clock 30 -> window 0 state expired
+	n := len(out)
+	out = op.Observe(stream.Tuple{TS: 7, Arrival: 31, Value: 100}, 31, out)
+	for _, r := range out[n:] {
+		if r.Refinement {
+			t.Fatalf("refined beyond horizon: %+v", r)
+		}
+	}
+	if op.Stats().LateDrops == 0 {
+		t.Fatal("expired late tuple not counted as dropped")
+	}
+}
+
+func TestOracleMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(401)
+	spec := Spec{Size: 20, Slide: 5}
+	f := func(n uint8) bool {
+		tuples := make([]stream.Tuple, int(n%150)+1)
+		for i := range tuples {
+			ts := stream.Time(rng.Intn(300))
+			tuples[i] = stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i), Value: rng.Float64Range(0, 10)}
+		}
+		got := Oracle(spec, Sum(), tuples)
+		byIdx := ResultsByIdx(got)
+		// Brute force every emitted window.
+		for idx, r := range byIdx {
+			lo, hi := spec.Bounds(idx)
+			var want float64
+			var count int64
+			for _, tp := range tuples {
+				if tp.TS >= lo && tp.TS < hi {
+					want += tp.Value
+					count++
+				}
+			}
+			if math.Abs(r.Value-want) > 1e-9 || r.Count != count {
+				return false
+			}
+		}
+		// Emitted indices must be contiguous.
+		var min, max int64
+		first := true
+		for idx := range byIdx {
+			if first {
+				min, max, first = idx, idx, false
+				continue
+			}
+			if idx < min {
+				min = idx
+			}
+			if idx > max {
+				max = idx
+			}
+		}
+		return int64(len(byIdx)) == max-min+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleZeroLatency(t *testing.T) {
+	tuples := []stream.Tuple{mk(5, 1), mk(25, 2)}
+	for _, r := range Oracle(Spec{Size: 10, Slide: 10}, Sum(), tuples) {
+		if r.Latency() != 0 {
+			t.Fatalf("oracle latency %d for %v", r.Latency(), r)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	rs := []Result{
+		{Idx: 2}, {Idx: 0}, {Idx: 1, Refinement: true}, {Idx: 1},
+	}
+	SortResults(rs)
+	if rs[0].Idx != 0 || rs[1].Idx != 1 || rs[1].Refinement || !rs[2].Refinement {
+		t.Fatalf("SortResults order: %v", rs)
+	}
+	p := Primary(rs)
+	if len(p) != 3 {
+		t.Fatalf("Primary kept %d", len(p))
+	}
+	if s := rs[0].String(); !strings.Contains(s, "win#0") {
+		t.Fatalf("Result.String = %q", s)
+	}
+}
+
+func TestNewOpPanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad spec did not panic")
+		}
+	}()
+	NewOp(Spec{Size: 0, Slide: 1}, Sum(), DropLate, 0)
+}
+
+func TestLatePolicyString(t *testing.T) {
+	if DropLate.String() != "drop" || RefineLate.String() != "refine" {
+		t.Fatal("LatePolicy strings wrong")
+	}
+}
+
+func TestOpWithDisorderedInputCountsLate(t *testing.T) {
+	// End-to-end sanity: a tuple stream with substantial disorder, K=0
+	// handling (none), must register late drops and value error vs oracle.
+	rng := stats.NewRNG(405)
+	var tuples []stream.Tuple
+	for i := 0; i < 2000; i++ {
+		ts := stream.Time(i * 3)
+		tuples = append(tuples, stream.Tuple{
+			TS: ts, Arrival: ts + stream.Time(rng.Intn(100)), Seq: uint64(i), Value: 1,
+		})
+	}
+	stream.SortByArrival(tuples)
+	op := NewOp(Spec{Size: 60, Slide: 60}, Count(), DropLate, 0)
+	out := observeAll(op, tuples)
+	if op.Stats().LateTuples == 0 {
+		t.Fatal("disordered stream produced no late tuples at the operator")
+	}
+	oracle := ResultsByIdx(Oracle(Spec{Size: 60, Slide: 60}, Count(), tuples))
+	lower := false
+	for _, r := range Primary(out) {
+		if o, ok := oracle[r.Idx]; ok && r.Value < o.Value {
+			lower = true
+			break
+		}
+	}
+	if !lower {
+		t.Fatal("late drops did not reduce any emitted count below oracle")
+	}
+}

@@ -1,0 +1,37 @@
+package window
+
+import "repro/internal/stream"
+
+// Oracle computes the exact per-window results a query would produce with
+// perfect (event-time-ordered, loss-free) input. Quality metrics compare
+// emitted results against it. The input may be in any order; it is copied
+// and sorted by event time, and emission positions are set so that every
+// oracle result has zero latency.
+func Oracle(spec Spec, agg Factory, tuples []stream.Tuple) []Result {
+	sorted := make([]stream.Tuple, len(tuples))
+	copy(sorted, tuples)
+	stream.SortByEventTime(sorted)
+
+	op := NewOp(spec, agg, DropLate, 0)
+	var out []Result
+	for _, t := range sorted {
+		out = op.Observe(t, 0, out)
+	}
+	out = op.Flush(0, out)
+	// An oracle is instantaneous: emit each window the moment it closes.
+	for i := range out {
+		out[i].EmitArrival = out[i].End
+	}
+	return out
+}
+
+// ResultsByIdx indexes primary results by window index. Refinements
+// overwrite the primary entry, so the map reflects the final value a
+// consumer would hold per window.
+func ResultsByIdx(rs []Result) map[int64]Result {
+	m := make(map[int64]Result, len(rs))
+	for _, r := range rs {
+		m[r.Idx] = r
+	}
+	return m
+}

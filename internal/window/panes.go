@@ -1,0 +1,148 @@
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// PaneOp evaluates a sliding-window aggregate by stream slicing: each
+// tuple is added to exactly one pane (the [i·Slide, (i+1)·Slide) slice
+// containing it) and a window's result is the merge of its Size/Slide
+// panes. For a window overlapping m panes this turns m aggregate updates
+// per tuple into one update plus m merges per emitted window — the
+// classic panes/slicing optimization, ablated against the naive Op in
+// BenchmarkPanesAblation.
+//
+// PaneOp requires Slide to divide Size and a Mergeable aggregate; it
+// supports the DropLate policy only (a pane is discarded once its last
+// covering window is emitted). Emitted results are identical to Op's.
+type PaneOp struct {
+	spec      Spec
+	agg       Factory
+	m         int64 // panes per window = Size/Slide
+	panes     map[int64]Aggregate
+	nextEmit  int64
+	haveFirst bool
+	clock     stream.Time
+	started   bool
+	stats     OpStats
+}
+
+// NewPaneOp returns a pane-based window operator. It panics if the spec is
+// invalid, Slide does not divide Size, or the aggregate is not Mergeable.
+func NewPaneOp(spec Spec, agg Factory) *PaneOp {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if spec.Size%spec.Slide != 0 {
+		panic(fmt.Sprintf("window: panes need Slide to divide Size (%d %% %d != 0)", spec.Size, spec.Slide))
+	}
+	if _, ok := agg.New().(Mergeable); !ok {
+		panic(fmt.Sprintf("window: aggregate %s is not Mergeable", agg.Name))
+	}
+	return &PaneOp{
+		spec:  spec,
+		agg:   agg,
+		m:     int64(spec.Size / spec.Slide),
+		panes: make(map[int64]Aggregate),
+	}
+}
+
+// Spec returns the window specification.
+func (o *PaneOp) Spec() Spec { return o.spec }
+
+// Stats returns cumulative counters.
+func (o *PaneOp) Stats() OpStats { return o.stats }
+
+// Observe feeds one tuple at arrival position now, appending emitted
+// results to out.
+func (o *PaneOp) Observe(t stream.Tuple, now stream.Time, out []Result) []Result {
+	o.stats.TuplesIn++
+	pane := floorDiv(t.TS, o.spec.Slide)
+	firstWin := pane - o.m + 1
+	if !o.haveFirst {
+		o.haveFirst = true
+		o.nextEmit = firstWin
+	}
+
+	// Count late (tuple, window) incidences exactly as Op would.
+	if firstWin < o.nextEmit {
+		late := o.nextEmit - firstWin
+		if late > o.m {
+			late = o.m
+		}
+		o.stats.LateDrops += late
+		o.stats.LateTuples++
+	}
+	// The tuple's pane still feeds every unemitted window covering it.
+	if pane >= o.nextEmit {
+		agg, ok := o.panes[pane]
+		if !ok {
+			agg = o.agg.New()
+			o.panes[pane] = agg
+		}
+		agg.Add(t.Value)
+	}
+	return o.Advance(t.TS, now, out)
+}
+
+// Advance moves the clock and emits every closed window.
+func (o *PaneOp) Advance(eventTS, now stream.Time, out []Result) []Result {
+	if !o.started || eventTS > o.clock {
+		o.clock = eventTS
+		o.started = true
+	}
+	if !o.haveFirst {
+		return out
+	}
+	lastClosed := o.spec.LastClosed(o.clock)
+	for idx := o.nextEmit; idx <= lastClosed; idx++ {
+		out = o.emit(idx, now, out)
+	}
+	return out
+}
+
+// Flush emits every window that still has a live pane.
+func (o *PaneOp) Flush(now stream.Time, out []Result) []Result {
+	if !o.haveFirst {
+		return out
+	}
+	maxPane := o.nextEmit - 1
+	for p := range o.panes {
+		if p > maxPane {
+			maxPane = p
+		}
+	}
+	for idx := o.nextEmit; idx <= maxPane; idx++ {
+		out = o.emit(idx, now, out)
+	}
+	return out
+}
+
+// emit merges window idx's panes, appends the result and drops the pane
+// no longer needed by any future window.
+func (o *PaneOp) emit(idx int64, now stream.Time, out []Result) []Result {
+	merged := o.agg.New().(Mergeable)
+	for p := idx; p < idx+o.m; p++ {
+		if pa, ok := o.panes[p]; ok {
+			merged.MergeFrom(pa)
+		}
+	}
+	start, end := o.spec.Bounds(idx)
+	if merged.N() == 0 {
+		o.stats.EmptyEmitted++
+	}
+	out = append(out, Result{
+		Idx: idx, Start: start, End: end,
+		Value: merged.Value(), Count: merged.N(), EmitArrival: now,
+	})
+	o.stats.Emitted++
+	// Pane p is needed by windows [p-m+1, p], so window idx was pane
+	// idx's last consumer.
+	delete(o.panes, idx)
+	if idx >= o.nextEmit {
+		o.nextEmit = idx + 1
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func TestMergeFromMatchesDirectAdd(t *testing.T) {
+	rng := stats.NewRNG(801)
+	for _, f := range append(AllFactories(), Distinct()) {
+		f := f
+		prop := func(n uint8) bool {
+			vs := make([]float64, int(n%60)+2)
+			for i := range vs {
+				vs[i] = float64(rng.Intn(50)) // coarse values so distinct has duplicates
+			}
+			direct := f.New()
+			for _, v := range vs {
+				direct.Add(v)
+			}
+			half := len(vs) / 2
+			a, b := f.New(), f.New()
+			for _, v := range vs[:half] {
+				a.Add(v)
+			}
+			for _, v := range vs[half:] {
+				b.Add(v)
+			}
+			a.(Mergeable).MergeFrom(b)
+			if a.N() != direct.N() {
+				return false
+			}
+			av, dv := a.Value(), direct.Value()
+			if math.IsNaN(av) && math.IsNaN(dv) {
+				return true
+			}
+			return math.Abs(av-dv) <= 1e-9*(1+math.Abs(dv))
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestMergeFromEmptySides(t *testing.T) {
+	for _, f := range AllFactories() {
+		a := f.New()
+		b := f.New()
+		a.(Mergeable).MergeFrom(b) // empty into empty
+		if a.N() != 0 {
+			t.Errorf("%s: empty merge changed N", f.Name)
+		}
+		b.Add(5)
+		a.(Mergeable).MergeFrom(b)
+		if a.N() != 1 {
+			t.Errorf("%s: merge into empty lost data", f.Name)
+		}
+		c := f.New()
+		a.(Mergeable).MergeFrom(c)
+		if a.N() != 1 {
+			t.Errorf("%s: merging empty changed N", f.Name)
+		}
+	}
+}
+
+func TestPaneOpMatchesOp(t *testing.T) {
+	rng := stats.NewRNG(803)
+	specs := []Spec{
+		{Size: 10, Slide: 10},
+		{Size: 20, Slide: 5},
+		{Size: 100, Slide: 10},
+	}
+	aggs := []Factory{Sum(), Count(), Min(), Max(), Avg(), Median()}
+	prop := func(n uint8, specIdx, aggIdx uint8) bool {
+		spec := specs[int(specIdx)%len(specs)]
+		agg := aggs[int(aggIdx)%len(aggs)]
+		tuples := make([]stream.Tuple, int(n%150)+1)
+		ts := stream.Time(0)
+		for i := range tuples {
+			ts += stream.Time(rng.Intn(8))
+			// Mild disorder: some tuples go back in time.
+			ev := ts - stream.Time(rng.Intn(30))
+			if ev < 0 {
+				ev = 0
+			}
+			tuples[i] = stream.Tuple{TS: ev, Arrival: ts, Seq: uint64(i), Value: rng.Float64Range(0, 10)}
+		}
+		op := NewOp(spec, agg, DropLate, 0)
+		pop := NewPaneOp(spec, agg)
+		var a, b []Result
+		for _, tp := range tuples {
+			a = op.Observe(tp, tp.Arrival, a)
+			b = pop.Observe(tp, tp.Arrival, b)
+		}
+		a = op.Flush(ts, a)
+		b = pop.Flush(ts, b)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Idx != b[i].Idx || a[i].Count != b[i].Count {
+				return false
+			}
+			av, bv := a[i].Value, b[i].Value
+			if math.IsNaN(av) != math.IsNaN(bv) {
+				return false
+			}
+			if !math.IsNaN(av) && math.Abs(av-bv) > 1e-9*(1+math.Abs(av)) {
+				return false
+			}
+		}
+		// Late accounting must agree too.
+		return op.Stats().LateDrops == pop.Stats().LateDrops &&
+			op.Stats().LateTuples == pop.Stats().LateTuples
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaneOpPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad spec":    func() { NewPaneOp(Spec{Size: 0, Slide: 1}, Sum()) },
+		"indivisible": func() { NewPaneOp(Spec{Size: 10, Slide: 3}, Sum()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPaneOpDropsPanes(t *testing.T) {
+	spec := Spec{Size: 100, Slide: 10}
+	pop := NewPaneOp(spec, Sum())
+	var out []Result
+	ts := stream.Time(0)
+	for i := 0; i < 10000; i++ {
+		ts += 5
+		out = pop.Observe(stream.Tuple{TS: ts, Arrival: ts, Value: 1}, ts, out[:0])
+	}
+	if got := len(pop.panes); got > 15 { // ~11 live panes expected
+		t.Fatalf("panes leak: %d live", got)
+	}
+}
+
+func TestPaneOpEmptyWindows(t *testing.T) {
+	pop := NewPaneOp(Spec{Size: 10, Slide: 10}, Sum())
+	var out []Result
+	out = pop.Observe(stream.Tuple{TS: 5, Arrival: 5, Value: 1}, 5, out)
+	out = pop.Observe(stream.Tuple{TS: 45, Arrival: 45, Value: 2}, 45, out)
+	out = pop.Flush(45, out)
+	if len(out) != 5 {
+		t.Fatalf("emitted %d windows, want 5 incl. empties: %v", len(out), out)
+	}
+	if pop.Stats().EmptyEmitted != 3 {
+		t.Fatalf("EmptyEmitted = %d", pop.Stats().EmptyEmitted)
+	}
+}

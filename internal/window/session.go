@@ -1,0 +1,365 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// SessionResult is one emitted session window.
+type SessionResult struct {
+	Key         uint64
+	Start       stream.Time // event time of the first tuple
+	End         stream.Time // last tuple's event time + Gap
+	Value       float64
+	Count       int64
+	EmitArrival stream.Time
+}
+
+// Latency returns the emission lag behind the session's event-time end.
+func (r SessionResult) Latency() stream.Time { return r.EmitArrival - r.End }
+
+// String renders the result.
+func (r SessionResult) String() string {
+	return fmt.Sprintf("session{key=%d [%d,%d) val=%g n=%d}", r.Key, r.Start, r.End, r.Value, r.Count)
+}
+
+// SessionStats are cumulative session-operator counters.
+type SessionStats struct {
+	TuplesIn   int64
+	LateDrops  int64 // tuples whose session had already been emitted
+	Emitted    int64
+	Merges     int64 // open sessions merged by a bridging tuple
+	MaxOpen    int   // high-water mark of open sessions
+	Extensions int64 // tuples that extended an existing open session
+}
+
+// session is one open session.
+type session struct {
+	start, last stream.Time
+	agg         Aggregate
+}
+
+// SessionOp evaluates per-key session windows over a (mostly) event-time
+// ordered stream: a session groups tuples of one key whose consecutive
+// event timestamps are at most Gap apart, and is emitted once the
+// operator's event-time clock passes last + Gap + Hold.
+//
+// Disorder causes *structural* errors here, not just value errors: a late
+// tuple that should have bridged two sessions leaves them split (or is
+// dropped entirely if its session already closed). SessionOracle plus
+// CompareSessions quantify both kinds.
+//
+// Hold is the operator-level disorder tolerance (allowed lateness):
+// emission is delayed Hold past the gap expiry, so stragglers up to Hold
+// late can still extend a session or bridge two open sessions into one —
+// with Hold = 0 the clock discipline makes a second open session per key
+// impossible (the older one closes the moment a newer timestamp is seen),
+// so merges only ever happen with Hold > 0. Hold trades latency for
+// boundary accuracy exactly like a K-slack buffer upstream would; having
+// both mechanisms lets the evaluation compare them.
+//
+// The aggregate must be Mergeable (session merges fold aggregates).
+type SessionOp struct {
+	gap     stream.Time
+	hold    stream.Time
+	agg     Factory
+	open    map[uint64][]*session // sorted by start per key
+	clock   stream.Time
+	started bool
+	stats   SessionStats
+}
+
+// NewSessionOp returns a session operator with the given gap and
+// operator-level disorder tolerance (hold >= 0). It panics if gap <= 0,
+// hold < 0, or the aggregate is not Mergeable.
+func NewSessionOp(gap, hold stream.Time, agg Factory) *SessionOp {
+	if gap <= 0 {
+		panic("window: session gap must be positive")
+	}
+	if hold < 0 {
+		panic("window: session hold must be non-negative")
+	}
+	if _, ok := agg.New().(Mergeable); !ok {
+		panic(fmt.Sprintf("window: session aggregate %s is not Mergeable", agg.Name))
+	}
+	return &SessionOp{gap: gap, hold: hold, agg: agg, open: make(map[uint64][]*session)}
+}
+
+// Gap returns the session gap.
+func (o *SessionOp) Gap() stream.Time { return o.gap }
+
+// Hold returns the current allowed lateness.
+func (o *SessionOp) Hold() stream.Time { return o.hold }
+
+// SetHold changes the allowed lateness; lowering it takes effect at the
+// next clock advance. Negative values clamp to zero. The adaptive session
+// controller (core.AQSession) drives this.
+func (o *SessionOp) SetHold(hold stream.Time) {
+	if hold < 0 {
+		hold = 0
+	}
+	o.hold = hold
+}
+
+// Stats returns cumulative counters.
+func (o *SessionOp) Stats() SessionStats { return o.stats }
+
+// OpenSessions returns the number of currently open sessions.
+func (o *SessionOp) OpenSessions() int {
+	n := 0
+	for _, ss := range o.open {
+		n += len(ss)
+	}
+	return n
+}
+
+// Observe feeds one tuple at arrival position now, appending emitted
+// sessions to out.
+func (o *SessionOp) Observe(t stream.Tuple, now stream.Time, out []SessionResult) []SessionResult {
+	o.stats.TuplesIn++
+	sessions := o.open[t.Key]
+
+	// Find an open session the tuple belongs to: [start−Gap, last+Gap].
+	idx := -1
+	for i, s := range sessions {
+		if t.TS >= s.start-o.gap && t.TS <= s.last+o.gap {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case idx >= 0:
+		s := sessions[idx]
+		if t.TS < s.start {
+			s.start = t.TS
+		}
+		if t.TS > s.last {
+			s.last = t.TS
+		}
+		s.agg.Add(t.Value)
+		o.stats.Extensions++
+		sessions = o.mergeAround(t.Key, sessions)
+	case o.started && t.TS+o.gap+o.hold <= o.clock:
+		// The session this tuple belonged to has already been emitted.
+		o.stats.LateDrops++
+	default:
+		ns := &session{start: t.TS, last: t.TS, agg: o.agg.New()}
+		ns.agg.Add(t.Value)
+		sessions = append(sessions, ns)
+		sort.Slice(sessions, func(i, j int) bool { return sessions[i].start < sessions[j].start })
+		sessions = o.mergeAround(t.Key, sessions)
+	}
+	o.open[t.Key] = sessions
+	if n := o.OpenSessions(); n > o.stats.MaxOpen {
+		o.stats.MaxOpen = n
+	}
+	return o.Advance(t.TS, now, out)
+}
+
+// mergeAround merges adjacent sessions that now overlap (a new or
+// extended session can bridge its neighbours).
+func (o *SessionOp) mergeAround(key uint64, sessions []*session) []*session {
+	if len(sessions) < 2 {
+		return sessions
+	}
+	merged := sessions[:1]
+	for _, s := range sessions[1:] {
+		lastS := merged[len(merged)-1]
+		if s.start <= lastS.last+o.gap {
+			// Fold s into lastS.
+			if s.last > lastS.last {
+				lastS.last = s.last
+			}
+			lastS.agg.(Mergeable).MergeFrom(s.agg)
+			o.stats.Merges++
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	return merged
+}
+
+// Advance moves the event-time clock and emits every session whose gap
+// has expired.
+func (o *SessionOp) Advance(eventTS, now stream.Time, out []SessionResult) []SessionResult {
+	if !o.started || eventTS > o.clock {
+		o.clock = eventTS
+		o.started = true
+	}
+	// Collect the expiring batch first and sort it (map iteration order
+	// is randomized; emission order must be deterministic).
+	start := len(out)
+	for key, sessions := range o.open {
+		kept := sessions[:0]
+		for _, s := range sessions {
+			if s.last+o.gap+o.hold <= o.clock {
+				out = append(out, o.result(key, s, now))
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(o.open, key)
+		} else {
+			o.open[key] = kept
+		}
+	}
+	batch := out[start:]
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].Key != batch[j].Key {
+			return batch[i].Key < batch[j].Key
+		}
+		return batch[i].Start < batch[j].Start
+	})
+	return out
+}
+
+// Flush emits every open session.
+func (o *SessionOp) Flush(now stream.Time, out []SessionResult) []SessionResult {
+	keys := make([]uint64, 0, len(o.open))
+	for key := range o.open {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		for _, s := range o.open[key] {
+			out = append(out, o.result(key, s, now))
+		}
+		delete(o.open, key)
+	}
+	return out
+}
+
+func (o *SessionOp) result(key uint64, s *session, now stream.Time) SessionResult {
+	o.stats.Emitted++
+	return SessionResult{
+		Key: key, Start: s.start, End: s.last + o.gap,
+		Value: s.agg.Value(), Count: s.agg.N(), EmitArrival: now,
+	}
+}
+
+// SessionOracle computes the exact sessions of any-order input.
+func SessionOracle(gap stream.Time, agg Factory, tuples []stream.Tuple) []SessionResult {
+	sorted := make([]stream.Tuple, len(tuples))
+	copy(sorted, tuples)
+	stream.SortByEventTime(sorted)
+	op := NewSessionOp(gap, 0, agg)
+	var out []SessionResult
+	for _, t := range sorted {
+		out = op.Observe(t, 0, out)
+	}
+	out = op.Flush(0, out)
+	for i := range out {
+		out[i].EmitArrival = out[i].End
+	}
+	return out
+}
+
+// SessionQuality summarizes emitted sessions against the oracle.
+type SessionQuality struct {
+	OracleSessions  int
+	EmittedSessions int
+	ExactBoundaries int     // emitted sessions matching an oracle session's (key, start, end)
+	ValueErrSum     float64 // relative value error over boundary matches
+	Splits          int     // extra emitted sessions (oracle session split apart)
+	Missing         int     // oracle sessions with no emitted session starting inside them
+}
+
+// BoundaryAccuracy returns the fraction of oracle sessions reproduced with
+// exact boundaries.
+func (q SessionQuality) BoundaryAccuracy() float64 {
+	if q.OracleSessions == 0 {
+		return 1
+	}
+	return float64(q.ExactBoundaries) / float64(q.OracleSessions)
+}
+
+// MeanValueErr returns the mean relative value error over
+// boundary-matched sessions.
+func (q SessionQuality) MeanValueErr() float64 {
+	if q.ExactBoundaries == 0 {
+		return 0
+	}
+	return q.ValueErrSum / float64(q.ExactBoundaries)
+}
+
+// String renders the summary.
+func (q SessionQuality) String() string {
+	return fmt.Sprintf("sessions{oracle=%d emitted=%d exact=%.1f%% splits=%d missing=%d meanValErr=%.4f}",
+		q.OracleSessions, q.EmittedSessions, 100*q.BoundaryAccuracy(), q.Splits, q.Missing, q.MeanValueErr())
+}
+
+// CompareSessions aligns emitted sessions with oracle sessions. An
+// emitted session is assigned to the oracle session (same key) whose
+// interval contains its start; exact boundary matches are counted
+// separately from splits.
+func CompareSessions(emitted, oracle []SessionResult) SessionQuality {
+	type keyed struct {
+		key   uint64
+		start stream.Time
+	}
+	exact := make(map[keyed]SessionResult, len(oracle))
+	byKey := make(map[uint64][]SessionResult)
+	for _, r := range oracle {
+		exact[keyed{r.Key, r.Start}] = r
+		byKey[r.Key] = append(byKey[r.Key], r)
+	}
+	for k := range byKey {
+		s := byKey[k]
+		sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+		byKey[k] = s
+	}
+
+	q := SessionQuality{OracleSessions: len(oracle), EmittedSessions: len(emitted)}
+	covered := make(map[keyed]bool)
+	for _, e := range emitted {
+		if o, ok := exact[keyed{e.Key, e.Start}]; ok && o.End == e.End {
+			q.ExactBoundaries++
+			q.ValueErrSum += relErrSession(e.Value, o.Value)
+			covered[keyed{e.Key, o.Start}] = true
+			continue
+		}
+		// Assign to the containing oracle session, if any.
+		if o, ok := containing(byKey[e.Key], e.Start); ok {
+			q.Splits++
+			covered[keyed{e.Key, o.Start}] = true
+		} else {
+			q.Splits++ // spurious/misaligned counts as a split too
+		}
+	}
+	for _, o := range oracle {
+		if !covered[keyed{o.Key, o.Start}] {
+			q.Missing++
+		}
+	}
+	return q
+}
+
+func containing(sorted []SessionResult, ts stream.Time) (SessionResult, bool) {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Start > ts })
+	if i == 0 {
+		return SessionResult{}, false
+	}
+	cand := sorted[i-1]
+	if ts >= cand.Start && ts < cand.End {
+		return cand, true
+	}
+	return SessionResult{}, false
+}
+
+func relErrSession(e, o float64) float64 {
+	den := o
+	if den < 0 {
+		den = -den
+	}
+	if den < 1e-9 {
+		den = 1e-9
+	}
+	d := e - o
+	if d < 0 {
+		d = -d
+	}
+	return d / den
+}

@@ -1,0 +1,263 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func smk(ts stream.Time, key uint64, v float64) stream.Tuple {
+	return stream.Tuple{TS: ts, Arrival: ts, Key: key, Value: v}
+}
+
+func observeSessions(op *SessionOp, tuples []stream.Tuple) []SessionResult {
+	var out []SessionResult
+	var now stream.Time
+	for _, t := range tuples {
+		if t.Arrival > now {
+			now = t.Arrival
+		}
+		out = op.Observe(t, now, out)
+	}
+	return op.Flush(now, out)
+}
+
+func TestSessionBasicGrouping(t *testing.T) {
+	op := NewSessionOp(10, 0, Sum())
+	// Two sessions: {1,5,12} (gaps <= 10) and {40,45}.
+	out := observeSessions(op, []stream.Tuple{
+		smk(1, 0, 1), smk(5, 0, 2), smk(12, 0, 4), smk(40, 0, 8), smk(45, 0, 16),
+	})
+	if len(out) != 2 {
+		t.Fatalf("emitted %d sessions: %v", len(out), out)
+	}
+	if out[0].Start != 1 || out[0].End != 22 || out[0].Value != 7 {
+		t.Fatalf("session 0: %+v", out[0])
+	}
+	if out[1].Start != 40 || out[1].End != 55 || out[1].Value != 24 {
+		t.Fatalf("session 1: %+v", out[1])
+	}
+}
+
+func TestSessionEmissionOnGapExpiry(t *testing.T) {
+	op := NewSessionOp(10, 0, Count())
+	var out []SessionResult
+	out = op.Observe(smk(100, 0, 1), 100, out)
+	if len(out) != 0 {
+		t.Fatal("session emitted while gap still open")
+	}
+	out = op.Observe(smk(109, 0, 1), 109, out) // extends
+	out = op.Observe(smk(200, 0, 1), 200, out) // clock jump closes first session
+	if len(out) != 1 || out[0].Count != 2 {
+		t.Fatalf("expected the first session closed: %v", out)
+	}
+	if out[0].End != 119 {
+		t.Fatalf("session end = %d, want last+gap = 119", out[0].End)
+	}
+}
+
+func TestSessionKeysIndependent(t *testing.T) {
+	op := NewSessionOp(10, 0, Count())
+	out := observeSessions(op, []stream.Tuple{
+		smk(1, 1, 1), smk(5, 2, 1), smk(8, 1, 1),
+	})
+	if len(out) != 2 {
+		t.Fatalf("keys merged: %v", out)
+	}
+}
+
+func TestSessionMergeViaDisorder(t *testing.T) {
+	// The genuinely interesting merge: out-of-order arrival creates two
+	// open sessions that a late bridging tuple joins. Clock = max TS seen,
+	// so process tuples with interleaved timestamps before the gap closes.
+	op := NewSessionOp(10, 20, Sum()) // hold 20 keeps A open past the clock jump
+	var out []SessionResult
+	out = op.Observe(smk(100, 0, 1), 200, out)                                        // session A [100,100]
+	out = op.Observe(stream.Tuple{TS: 115, Arrival: 201, Key: 0, Value: 2}, 201, out) // session B [115,115]; clock 115, A held
+	out = op.Observe(stream.Tuple{TS: 107, Arrival: 202, Key: 0, Value: 4}, 202, out) // bridges A and B
+	out = op.Observe(stream.Tuple{TS: 300, Arrival: 300, Key: 0, Value: 0}, 300, out) // close everything old
+	merged := out[0]
+	if merged.Start != 100 || merged.End != 125 || merged.Value != 7 {
+		t.Fatalf("bridge merge failed: %+v", merged)
+	}
+	if op.Stats().Merges == 0 {
+		t.Fatal("merge not counted")
+	}
+}
+
+func TestSessionLateDrop(t *testing.T) {
+	op := NewSessionOp(10, 0, Count())
+	var out []SessionResult
+	out = op.Observe(smk(100, 0, 1), 100, out)
+	out = op.Observe(smk(300, 0, 1), 300, out) // closes session at 100
+	n := len(out)
+	out = op.Observe(stream.Tuple{TS: 105, Arrival: 301, Key: 0, Value: 1}, 301, out)
+	if len(out) != n {
+		t.Fatalf("late tuple produced output: %v", out[n:])
+	}
+	if op.Stats().LateDrops != 1 {
+		t.Fatalf("LateDrops = %d", op.Stats().LateDrops)
+	}
+}
+
+func TestSessionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"gap 0":         func() { NewSessionOp(0, 0, Sum()) },
+		"negative hold": func() { NewSessionOp(10, -1, Sum()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSessionOracleDeterministicAndOrdered(t *testing.T) {
+	rng := stats.NewRNG(901)
+	tuples := make([]stream.Tuple, 500)
+	ts := stream.Time(0)
+	for i := range tuples {
+		ts += stream.Time(rng.Intn(30)) // some gaps exceed 10 -> session breaks
+		tuples[i] = stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i), Key: uint64(rng.Intn(3)), Value: 1}
+	}
+	a := SessionOracle(10, Sum(), tuples)
+	b := SessionOracle(10, Sum(), tuples)
+	if len(a) != len(b) {
+		t.Fatal("oracle nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("oracle nondeterministic")
+		}
+	}
+	// Oracle sessions per key must be disjoint and separated by > gap.
+	perKey := map[uint64][]SessionResult{}
+	for _, s := range a {
+		perKey[s.Key] = append(perKey[s.Key], s)
+	}
+	for _, ss := range perKey {
+		for i := 1; i < len(ss); i++ {
+			if ss[i].Start < ss[i-1].End {
+				t.Fatalf("overlapping oracle sessions: %v then %v", ss[i-1], ss[i])
+			}
+		}
+	}
+}
+
+func TestSessionOracleConservation(t *testing.T) {
+	rng := stats.NewRNG(903)
+	f := func(n uint8) bool {
+		tuples := make([]stream.Tuple, int(n%100)+1)
+		ts := stream.Time(0)
+		for i := range tuples {
+			ts += stream.Time(rng.Intn(25))
+			tuples[i] = stream.Tuple{TS: ts, Arrival: ts, Seq: uint64(i), Value: 1}
+		}
+		var total int64
+		for _, s := range SessionOracle(10, Count(), tuples) {
+			total += s.Count
+		}
+		return total == int64(len(tuples))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSessionsExact(t *testing.T) {
+	tuples := []stream.Tuple{smk(1, 0, 1), smk(5, 0, 2), smk(40, 0, 4)}
+	oracle := SessionOracle(10, Sum(), tuples)
+	q := CompareSessions(oracle, oracle)
+	if q.BoundaryAccuracy() != 1 || q.Splits != 0 || q.Missing != 0 {
+		t.Fatalf("self-compare not exact: %v", q)
+	}
+	if q.MeanValueErr() != 0 {
+		t.Fatalf("MeanValueErr = %v", q.MeanValueErr())
+	}
+}
+
+func TestCompareSessionsDetectsSplit(t *testing.T) {
+	oracle := []SessionResult{{Key: 0, Start: 0, End: 30, Value: 10, Count: 3}}
+	emitted := []SessionResult{
+		{Key: 0, Start: 0, End: 12, Value: 4, Count: 1},
+		{Key: 0, Start: 15, End: 30, Value: 6, Count: 2},
+	}
+	q := CompareSessions(emitted, oracle)
+	if q.ExactBoundaries != 0 {
+		t.Fatalf("split counted as exact: %v", q)
+	}
+	if q.Splits != 2 {
+		t.Fatalf("Splits = %d, want 2", q.Splits)
+	}
+	if q.Missing != 0 {
+		t.Fatalf("covered oracle session marked missing: %v", q)
+	}
+	if q.BoundaryAccuracy() != 0 {
+		t.Fatalf("BoundaryAccuracy = %v", q.BoundaryAccuracy())
+	}
+}
+
+func TestCompareSessionsDetectsMissing(t *testing.T) {
+	oracle := []SessionResult{
+		{Key: 0, Start: 0, End: 30},
+		{Key: 0, Start: 100, End: 130},
+	}
+	emitted := []SessionResult{{Key: 0, Start: 0, End: 30}}
+	q := CompareSessions(emitted, oracle)
+	if q.Missing != 1 {
+		t.Fatalf("Missing = %d", q.Missing)
+	}
+}
+
+func TestSessionDisorderCausesSplits(t *testing.T) {
+	// End-to-end: disorder with no handling must produce measurably
+	// worse session boundaries than full buffering.
+	rng := stats.NewRNG(907)
+	var tuples []stream.Tuple
+	ts := stream.Time(0)
+	for i := 0; i < 5000; i++ {
+		gap := stream.Time(rng.Intn(8))
+		if rng.Intn(20) == 0 {
+			gap += 50 // session break
+		}
+		ts += gap
+		tuples = append(tuples, stream.Tuple{
+			TS: ts, Arrival: ts + stream.Time(rng.Intn(60)), Seq: uint64(i), Value: 1,
+		})
+	}
+	stream.SortByArrival(tuples)
+	oracle := SessionOracle(20, Sum(), tuples)
+
+	raw := NewSessionOp(20, 0, Sum())
+	qRaw := CompareSessions(observeSessions(raw, tuples), oracle)
+
+	sorted := make([]stream.Tuple, len(tuples))
+	copy(sorted, tuples)
+	stream.SortByEventTime(sorted)
+	buffered := NewSessionOp(20, 0, Sum())
+	qBuf := CompareSessions(observeSessions(buffered, sorted), oracle)
+
+	if qBuf.BoundaryAccuracy() != 1 {
+		t.Fatalf("fully ordered input not exact: %v", qBuf)
+	}
+	if qRaw.BoundaryAccuracy() >= 0.999 {
+		t.Fatalf("disorder caused no boundary damage: %v", qRaw)
+	}
+
+	// An operator-level hold covering the max delay repairs the
+	// boundaries without any upstream buffering.
+	held := NewSessionOp(20, 100, Sum())
+	qHeld := CompareSessions(observeSessions(held, tuples), oracle)
+	if qHeld.BoundaryAccuracy() <= qRaw.BoundaryAccuracy() {
+		t.Fatalf("hold did not improve boundaries: raw %v vs held %v", qRaw, qHeld)
+	}
+	if qHeld.BoundaryAccuracy() < 0.99 {
+		t.Fatalf("hold covering max delay should be near exact: %v", qHeld)
+	}
+}

@@ -1,0 +1,150 @@
+package window
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Size: 10, Slide: 5}, true},
+		{Spec{Size: 10, Slide: 10}, true},
+		{Spec{Size: 0, Slide: 5}, false},
+		{Spec{Size: 10, Slide: 0}, false},
+		{Spec{Size: 5, Slide: 10}, false},
+		{Spec{Size: -5, Slide: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%v Validate = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestSpecBounds(t *testing.T) {
+	s := Spec{Size: 10, Slide: 4}
+	start, end := s.Bounds(0)
+	if start != 0 || end != 10 {
+		t.Fatalf("Bounds(0) = [%d,%d)", start, end)
+	}
+	start, end = s.Bounds(3)
+	if start != 12 || end != 22 {
+		t.Fatalf("Bounds(3) = [%d,%d)", start, end)
+	}
+	start, end = s.Bounds(-1)
+	if start != -4 || end != 6 {
+		t.Fatalf("Bounds(-1) = [%d,%d)", start, end)
+	}
+}
+
+func TestWindowsForTumbling(t *testing.T) {
+	s := Spec{Size: 10, Slide: 10}
+	for _, c := range []struct {
+		ts          stream.Time
+		first, last int64
+	}{
+		{0, 0, 0}, {9, 0, 0}, {10, 1, 1}, {25, 2, 2},
+	} {
+		first, last := s.WindowsFor(c.ts)
+		if first != c.first || last != c.last {
+			t.Errorf("WindowsFor(%d) = [%d,%d], want [%d,%d]", c.ts, first, last, c.first, c.last)
+		}
+	}
+}
+
+func TestWindowsForSliding(t *testing.T) {
+	s := Spec{Size: 10, Slide: 5}
+	// ts=12 is in [5,15) and [10,20) -> windows 1 and 2.
+	first, last := s.WindowsFor(12)
+	if first != 1 || last != 2 {
+		t.Fatalf("WindowsFor(12) = [%d,%d], want [1,2]", first, last)
+	}
+	// ts=3 is in [-5,5) and [0,10) -> windows -1 and 0.
+	first, last = s.WindowsFor(3)
+	if first != -1 || last != 0 {
+		t.Fatalf("WindowsFor(3) = [%d,%d], want [-1,0]", first, last)
+	}
+}
+
+func TestWindowsForConsistentWithBounds(t *testing.T) {
+	specs := []Spec{
+		{Size: 10, Slide: 10}, {Size: 10, Slide: 5}, {Size: 60, Slide: 7}, {Size: 3, Slide: 1},
+	}
+	f := func(tsRaw int16) bool {
+		ts := stream.Time(tsRaw)
+		for _, s := range specs {
+			first, last := s.WindowsFor(ts)
+			// Every index in [first,last] must contain ts; the neighbours
+			// outside must not.
+			for idx := first; idx <= last; idx++ {
+				lo, hi := s.Bounds(idx)
+				if ts < lo || ts >= hi {
+					return false
+				}
+			}
+			if lo, hi := s.Bounds(first - 1); ts >= lo && ts < hi {
+				return false
+			}
+			if lo, hi := s.Bounds(last + 1); ts >= lo && ts < hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowsForCount(t *testing.T) {
+	s := Spec{Size: 20, Slide: 5}
+	first, last := s.WindowsFor(100)
+	if got := last - first + 1; got != 4 {
+		t.Fatalf("window multiplicity = %d, want Size/Slide = 4", got)
+	}
+}
+
+func TestLastClosed(t *testing.T) {
+	s := Spec{Size: 10, Slide: 5}
+	for _, c := range []struct {
+		clock stream.Time
+		want  int64
+	}{
+		{10, 0}, // window 0 = [0,10) closes exactly at 10
+		{14, 0}, // window 1 = [5,15) still open
+		{15, 1}, // window 1 closes
+		{9, -1}, // nothing non-negative closed
+		{100, 18},
+	} {
+		if got := s.LastClosed(c.clock); got != c.want {
+			t.Errorf("LastClosed(%d) = %d, want %d", c.clock, got, c.want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct {
+		a, b stream.Time
+		want int64
+	}{
+		{7, 2, 3}, {-7, 2, -4}, {-8, 2, -4}, {0, 5, 0}, {-1, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if s := (Spec{Size: 10, Slide: 2}).String(); !strings.Contains(s, "size=10") {
+		t.Fatalf("String = %q", s)
+	}
+}
