@@ -1,0 +1,34 @@
+# Tier-1 gate: everything `make check` runs must stay green. CI and the
+# pre-merge checklist call this target; keep it fast enough to run on
+# every change (the fuzz pass is deliberately short — use `make fuzz`
+# for longer runs).
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: check vet build test race fuzz-short fuzz
+
+check: vet build race fuzz-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A brief pass over each fuzz target's corpus plus a little exploration;
+# regressions in the buffer/sketch invariants surface here quickly.
+fuzz-short:
+	$(GO) test ./internal/buffer -run '^$$' -fuzz '^FuzzKSlackInvariants$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/buffer -run '^$$' -fuzz '^FuzzPercentileHandler$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzGKQuantile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzP2Bounds$$' -fuzztime $(FUZZTIME)
+
+fuzz: FUZZTIME = 60s
+fuzz: fuzz-short

@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET /healthz                      liveness
+//	GET /readyz                       readiness + per-query health
 //	GET /queries                      all query statuses
 //	GET /queries/{name}               one query's status
 //	GET /queries/{name}/results?last=N recent window results
@@ -15,27 +16,56 @@
 // stream's internal timestamps are unchanged), so the statuses evolve
 // while the server runs; each stream loops forever with re-based
 // timestamps.
+//
+// Resilience: -chaos injects deterministic source faults (see
+// resilience.ParseChaos for the spec syntax); transient source errors are
+// retried with backoff behind a circuit breaker, and a terminally failed
+// segment reconnects with the next one. -overload picks what a full
+// ingest queue does (block, shed-newest, shed-late); sheds are counted in
+// the status JSON and folded into realizedErrAdjusted. On SIGINT/SIGTERM
+// the server drains: feed loops stop, every query's windows are flushed,
+// /readyz flips to 503, and the process exits 0.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	rate := flag.Int("rate", 20000, "replay rate in tuples per wall-clock second")
-	n := flag.Int("n", 200000, "tuples per stream segment (looped)")
-	flag.Parse()
+// appConfig carries the flag-derived settings for one server instance.
+type appConfig struct {
+	n         int // tuples per stream segment
+	rate      int // replay rate, tuples per wall-clock second
+	ingestCap int
+	policy    resilience.OverloadPolicy
+	chaos     resilience.Chaos
+	chaosOn   bool
+}
 
-	srv := newServer()
+// app ties the HTTP state, the query runners and their feed loops
+// together so that startup and drain are testable without signals.
+type app struct {
+	cfg     appConfig
+	srv     *server
+	runners []*queryRunner
+	loads   []func(seed uint64) gen.Config
+	wg      sync.WaitGroup
+}
+
+func newApp(cfg appConfig) *app {
+	a := &app{cfg: cfg, srv: newServer()}
 	specs := []struct {
 		name  string
 		theta float64
@@ -44,54 +74,200 @@ func main() {
 		load  func(seed uint64) gen.Config
 	}{
 		{"temp-avg-10s", 0.005, window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
-			window.Avg(), func(seed uint64) gen.Config { return gen.Sensor(*n, seed) }},
+			window.Avg(), func(seed uint64) gen.Config { return gen.Sensor(cfg.n, seed) }},
 		{"volume-sum-30s", 0.02, window.Spec{Size: 30 * stream.Second, Slide: 5 * stream.Second},
-			window.Sum(), func(seed uint64) gen.Config { return gen.SensorBursty(*n, seed) }},
+			window.Sum(), func(seed uint64) gen.Config { return gen.SensorBursty(cfg.n, seed) }},
 		{"calls-p95-60s", 0.05, window.Spec{Size: 60 * stream.Second, Slide: 10 * stream.Second},
-			window.Quantile(0.95), func(seed uint64) gen.Config { return gen.CDR(*n, seed) }},
+			window.Quantile(0.95), func(seed uint64) gen.Config { return gen.CDR(cfg.n, seed) }},
 	}
-	for i, sp := range specs {
+	for _, sp := range specs {
 		q := newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
-		srv.add(q)
-		go feedLoop(q, sp.load, uint64(i+1), *rate)
+		q.start(cfg.ingestCap, cfg.policy)
+		a.srv.add(q)
+		a.runners = append(a.runners, q)
+		a.loads = append(a.loads, sp.load)
 	}
+	return a
+}
 
-	log.Printf("aqserver: %d queries, listening on %s", len(specs), *addr)
-	log.Printf("try: curl http://localhost%s/queries", *addr)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		log.Fatal(err)
+// startFeeds launches one feed loop per query; the loops stop when ctx is
+// cancelled.
+func (a *app) startFeeds(ctx context.Context) {
+	for i, q := range a.runners {
+		a.wg.Add(1)
+		go func(q *queryRunner, load func(uint64) gen.Config, seed uint64) {
+			defer a.wg.Done()
+			feedLoop(ctx, q, load, seed, a.cfg)
+		}(q, a.loads[i], uint64(i+1))
 	}
 }
 
-// feedLoop replays generated stream segments forever at the given wall
-// rate, re-basing timestamps so event time keeps moving forward.
-func feedLoop(q *queryRunner, load func(seed uint64) gen.Config, seed uint64, rate int) {
+// drain performs the graceful-shutdown sequence: flip readiness, wait for
+// the feed loops to stop, then flush every runner's open windows. It is
+// idempotent because runner.finish is.
+func (a *app) drain() {
+	a.srv.draining.Store(true)
+	for _, q := range a.runners {
+		q.setHealth(healthDraining)
+	}
+	a.wg.Wait()
+	for _, q := range a.runners {
+		q.finish()
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rate := flag.Int("rate", 20000, "replay rate in tuples per wall-clock second")
+	n := flag.Int("n", 200000, "tuples per stream segment (looped)")
+	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.01,stall=0.001,stalldur=5ms,dup=0.005,spike=0.001 (empty = off)")
+	overload := flag.String("overload", "block", "ingest overload policy: block, shed-newest or shed-late")
+	ingestCap := flag.Int("ingest", 1024, "bounded ingest queue capacity per query")
+	flag.Parse()
+
+	chaos, err := resilience.ParseChaos(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := resilience.ParseOverloadPolicy(*overload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap,
+		policy: policy, chaos: chaos, chaosOn: chaos.Enabled()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	a := newApp(cfg)
+	a.startFeeds(ctx)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: a.srv.handler()}
+	log.Printf("aqserver: %d queries, listening on %s (overload=%s chaos=%v)",
+		len(a.runners), *addr, policy, cfg.chaosOn)
+	log.Printf("try: curl http://localhost%s/queries", *addr)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("aqserver: shutdown signal received, draining %d queries", len(a.runners))
+		a.drain()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("aqserver: http shutdown: %v", err)
+		}
+		log.Printf("aqserver: drained, exiting")
+	}
+}
+
+// feedLoop replays generated stream segments forever at the configured
+// wall rate, re-basing timestamps so event time keeps moving forward.
+// Chaos faults (when enabled) are injected per segment; transient source
+// errors are retried with backoff behind a circuit breaker, and a
+// terminal failure stalls the query briefly before reconnecting with the
+// next segment. The loop exits when ctx is cancelled.
+func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Config, seed uint64, cfg appConfig) {
+	rate := cfg.rate
 	if rate <= 0 {
 		rate = 1
 	}
 	const batch = 128
 	interval := time.Duration(batch) * time.Second / time.Duration(rate)
+	retry := resilience.Retry{
+		MaxAttempts: 6, BaseDelay: 20 * time.Millisecond, MaxDelay: time.Second, Seed: seed,
+		BreakerThreshold: 8, BreakerCooldown: 2 * time.Second,
+	}
 	var base stream.Time
-	for loop := uint64(0); ; loop++ {
+	for loop := uint64(0); ctx.Err() == nil; loop++ {
 		tuples := load(seed + loop).Arrivals()
 		if len(tuples) == 0 {
+			// A generator that yields nothing used to kill the query
+			// silently and forever; log it and close out the query so its
+			// state is flushed and /readyz says "done", not limbo.
+			log.Printf("aqserver: %s: generator yielded no tuples for segment %d; marking query done", q.name, loop)
+			q.finish()
 			return
 		}
+		items := make([]stream.Item, len(tuples))
 		var maxTS stream.Time
-		ticker := time.NewTicker(interval)
 		for i, t := range tuples {
 			t.TS += base
 			t.Arrival += base
 			if t.TS > maxTS {
 				maxTS = t.TS
 			}
-			q.feed(stream.DataItem(t))
-			if (i+1)%batch == 0 {
-				<-ticker.C
+			items[i] = stream.DataItem(t)
+		}
+		var src stream.ErrSource = stream.AsErrSource(stream.NewSliceSource(items))
+		if cfg.chaosOn {
+			ch := cfg.chaos
+			ch.Seed = ch.Seed ^ (seed*0x9e3779b97f4a7c15 + loop) // distinct faults per segment, still deterministic
+			src = resilience.NewFaultSource(src, ch)
+		}
+		rs := resilience.NewRetryingSource(ctx, src, retry)
+
+		ticker := time.NewTicker(interval)
+		sent := 0
+		segmentOK := true
+		for {
+			it, ok, err := rs.NextErr()
+			if err != nil {
+				if ctx.Err() != nil {
+					ticker.Stop()
+					q.addRetries(rs.Retries())
+					return
+				}
+				// Terminal for this segment: the retry budget is spent or
+				// the breaker is open. Reconnect by moving to the next
+				// segment after a short stall — the paced-replay analogue
+				// of re-dialing an upstream.
+				segmentOK = false
+				q.setHealth(healthStalled)
+				log.Printf("aqserver: %s: source failed on segment %d (%v); reconnecting", q.name, loop, err)
+				sleepCtx(ctx, time.Second)
+				break
+			}
+			if !ok {
+				break
+			}
+			q.feed(it)
+			sent++
+			if sent%batch == 0 {
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					ticker.Stop()
+					q.addRetries(rs.Retries())
+					return
+				}
 			}
 		}
 		ticker.Stop()
+		q.addRetries(rs.Retries())
+		switch {
+		case !segmentOK:
+			// health stays stalled until the next segment feeds
+		case rs.Retries() > 0:
+			q.setHealth(healthDegraded)
+		default:
+			q.setHealth(healthFeeding)
+		}
 		base = maxTS + stream.Second
-		fmt.Printf("aqserver: %s finished segment %d, re-basing to %d\n", q.name, loop, base)
+		log.Printf("aqserver: %s finished segment %d (%d items), re-basing to %d", q.name, loop, sent, base)
+	}
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }

@@ -3,26 +3,53 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
 
+// Per-query health states reported by /readyz and the status JSON.
+const (
+	healthFeeding  = "feeding"  // ingesting normally
+	healthDegraded = "degraded" // ingesting, but retries/sheds/panics occurred
+	healthStalled  = "stalled"  // source failed terminally; awaiting reconnect
+	healthDraining = "draining" // shutdown in progress, windows being flushed
+	healthDone     = "done"     // stream ended and windows were flushed
+)
+
 // queryRunner owns one continuous query's operators and its live state.
-// The feeding goroutine is the only writer; HTTP handlers read under the
-// mutex.
+// Items enter through feed; with start() called they pass through a
+// bounded ingest queue drained by a worker goroutine (the single writer
+// of the operator state), otherwise feed processes them synchronously.
+// HTTP handlers read under the mutex.
 type queryRunner struct {
 	name  string
 	theta float64
 	spec  window.Spec
 	agg   window.Factory
+
+	// Ingest queue; nil until start() is called (tests feed directly).
+	ingest     chan stream.Item
+	workerDone chan struct{}
+	policy     resilience.OverloadPolicy
+	feedMaxTS  stream.Time // event-time clock, touched only by the feeder
+	feedTSSet  bool
+	stopOnce   sync.Once
+
+	// panicOn is a test seam: when set, process panics on matching items
+	// so the worker's panic isolation can be exercised.
+	panicOn func(stream.Item) bool
 
 	mu       sync.Mutex
 	handler  *core.AQKSlack
@@ -32,7 +59,11 @@ type queryRunner struct {
 	results  []window.Result // ring of recent results
 	emitted  int64
 	tuplesIn int64
+	shed     int64
+	retries  int64
+	panics   int64
 	latency  *stats.P2 // streaming p95 of result latency
+	health   string
 	done     bool
 }
 
@@ -47,11 +78,75 @@ func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Fac
 		handler: core.NewAQKSlack(core.Config{Theta: theta, Spec: spec, Agg: agg}),
 		op:      window.NewOp(spec, agg, window.DropLate, 0),
 		latency: stats.NewP2(0.95),
+		health:  healthFeeding,
 	}
 }
 
-// feed pushes one item through the pipeline.
+// start switches the runner to queued ingestion: feed enqueues onto a
+// bounded channel of the given capacity and a worker goroutine applies
+// the items, isolating panics per item. policy decides what a full queue
+// does to data tuples (heartbeats always block — they are progress
+// signals and cheap).
+func (q *queryRunner) start(capacity int, policy resilience.OverloadPolicy) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	q.policy = policy
+	q.ingest = make(chan stream.Item, capacity)
+	q.workerDone = make(chan struct{})
+	go func() {
+		defer close(q.workerDone)
+		for it := range q.ingest {
+			q.process(it)
+		}
+	}()
+}
+
+// feed pushes one item into the pipeline, applying the overload policy
+// when the ingest queue is full. Without start() it processes inline.
 func (q *queryRunner) feed(it stream.Item) {
+	if q.ingest == nil {
+		q.process(it)
+		return
+	}
+	late := false
+	if !it.Heartbeat {
+		late = q.feedTSSet && it.Tuple.TS < q.feedMaxTS
+		if !q.feedTSSet || it.Tuple.TS > q.feedMaxTS {
+			q.feedMaxTS, q.feedTSSet = it.Tuple.TS, true
+		}
+	}
+	canShed := !it.Heartbeat &&
+		(q.policy == resilience.ShedNewest || (q.policy == resilience.ShedLate && late))
+	if canShed {
+		select {
+		case q.ingest <- it:
+		default:
+			q.noteShed()
+		}
+		return
+	}
+	q.ingest <- it
+}
+
+// process applies one item to the operator state. A panic (a poisoned
+// tuple, an operator bug) is isolated to that item: it is counted, the
+// runner is marked degraded, and the worker keeps going.
+func (q *queryRunner) process(it stream.Item) {
+	defer func() {
+		if p := recover(); p != nil {
+			q.mu.Lock()
+			q.panics++
+			if q.health == healthFeeding {
+				q.health = healthDegraded
+			}
+			q.mu.Unlock()
+			log.Printf("aqserver: %s: panic isolated while processing %v: %v", q.name, it, p)
+		}
+	}()
+	if q.panicOn != nil && q.panicOn(it) {
+		panic("injected processing fault")
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if !it.Heartbeat {
@@ -70,18 +165,27 @@ func (q *queryRunner) feed(it stream.Item) {
 	q.absorb(res)
 }
 
-// finish flushes the pipeline at end of stream.
+// finish drains the ingest queue, flushes the pipeline and marks the
+// runner done. It is idempotent and must only be called after the feeder
+// has stopped.
 func (q *queryRunner) finish() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.rel = q.handler.Flush(q.rel[:0])
-	var res []window.Result
-	for _, t := range q.rel {
-		res = q.op.Observe(t, q.now, res)
-	}
-	res = q.op.Flush(q.now, res)
-	q.absorb(res)
-	q.done = true
+	q.stopOnce.Do(func() {
+		if q.ingest != nil {
+			close(q.ingest)
+			<-q.workerDone
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		q.rel = q.handler.Flush(q.rel[:0])
+		var res []window.Result
+		for _, t := range q.rel {
+			res = q.op.Observe(t, q.now, res)
+		}
+		res = q.op.Flush(q.now, res)
+		q.absorb(res)
+		q.done = true
+		q.health = healthDone
+	})
 }
 
 func (q *queryRunner) absorb(res []window.Result) {
@@ -95,6 +199,43 @@ func (q *queryRunner) absorb(res []window.Result) {
 	}
 }
 
+func (q *queryRunner) noteShed() {
+	q.mu.Lock()
+	q.shed++
+	if q.health == healthFeeding {
+		q.health = healthDegraded
+	}
+	q.mu.Unlock()
+}
+
+// addRetries folds a feed segment's retry count into the runner total.
+func (q *queryRunner) addRetries(n int64) {
+	if n <= 0 {
+		return
+	}
+	q.mu.Lock()
+	q.retries += n
+	q.mu.Unlock()
+}
+
+// setHealth moves the runner between feeder-driven states. Terminal
+// states win: done is never overwritten, and draining only yields to
+// done (the feeder may still be finishing its last segment).
+func (q *queryRunner) setHealth(h string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.health == healthDone || (q.health == healthDraining && h != healthDone) {
+		return
+	}
+	q.health = h
+}
+
+func (q *queryRunner) healthState() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.health
+}
+
 // status is the JSON shape of one query's live state.
 type status struct {
 	Name        string  `json:"name"`
@@ -106,10 +247,18 @@ type status struct {
 	Windows     int64   `json:"windowsEmitted"`
 	K           int64   `json:"currentK"`
 	RealizedErr float64 `json:"realizedErrEWMA"`
-	EstErr      float64 `json:"lastEstimatedErr"`
-	Adaptations int     `json:"adaptations"`
-	LatencyP95  float64 `json:"latencyP95"`
-	Done        bool    `json:"done"`
+	// RealizedErrAdj folds shed tuples into the realized-error estimate
+	// (metrics.ShedAdjustedErr): a shedding run reports honestly degraded
+	// quality even though the estimator never saw the dropped tuples.
+	RealizedErrAdj float64 `json:"realizedErrAdjusted"`
+	EstErr         float64 `json:"lastEstimatedErr"`
+	Adaptations    int     `json:"adaptations"`
+	LatencyP95     float64 `json:"latencyP95"`
+	Health         string  `json:"health"`
+	Shed           int64   `json:"shedTuples"`
+	Retries        int64   `json:"sourceRetries"`
+	Panics         int64   `json:"stagePanics"`
+	Done           bool    `json:"done"`
 }
 
 func (q *queryRunner) status() status {
@@ -117,19 +266,24 @@ func (q *queryRunner) status() status {
 	defer q.mu.Unlock()
 	qs := q.handler.Quality()
 	return status{
-		Name:        q.name,
-		Theta:       q.theta,
-		WindowSize:  q.spec.Size,
-		WindowSlide: q.spec.Slide,
-		Aggregate:   q.agg.Name,
-		TuplesIn:    q.tuplesIn,
-		Windows:     q.emitted,
-		K:           q.handler.K(),
-		RealizedErr: qs.RealizedErrEWMA,
-		EstErr:      qs.LastEstErr,
-		Adaptations: qs.Adaptations,
-		LatencyP95:  q.latency.Value(),
-		Done:        q.done,
+		Name:           q.name,
+		Theta:          q.theta,
+		WindowSize:     q.spec.Size,
+		WindowSlide:    q.spec.Slide,
+		Aggregate:      q.agg.Name,
+		TuplesIn:       q.tuplesIn,
+		Windows:        q.emitted,
+		K:              q.handler.K(),
+		RealizedErr:    qs.RealizedErrEWMA,
+		RealizedErrAdj: metrics.ShedAdjustedErr(qs.RealizedErrEWMA, q.shed, q.tuplesIn),
+		EstErr:         qs.LastEstErr,
+		Adaptations:    qs.Adaptations,
+		LatencyP95:     q.latency.Value(),
+		Health:         q.health,
+		Shed:           q.shed,
+		Retries:        q.retries,
+		Panics:         q.panics,
+		Done:           q.done,
 	}
 }
 
@@ -155,8 +309,9 @@ func (q *queryRunner) trace() []core.KSample {
 
 // server exposes a set of query runners over HTTP.
 type server struct {
-	mu      sync.RWMutex
-	queries map[string]*queryRunner
+	mu       sync.RWMutex
+	queries  map[string]*queryRunner
+	draining atomic.Bool
 }
 
 func newServer() *server {
@@ -176,20 +331,62 @@ func (s *server) get(name string) (*queryRunner, bool) {
 	return q, ok
 }
 
+// sortedNames returns the query names in stable order.
+func (s *server) sortedNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.queries))
+	for n := range s.queries {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// readiness is the JSON shape of /readyz.
+type readiness struct {
+	Ready    bool              `json:"ready"`
+	Draining bool              `json:"draining"`
+	Queries  map[string]string `json:"queries"`
+}
+
+// readiness reports per-query health. The server is ready when it is not
+// draining and no query is stalled; degraded queries keep it ready (they
+// are still serving, just honestly worse).
+func (s *server) readiness() readiness {
+	r := readiness{Ready: true, Draining: s.draining.Load(), Queries: make(map[string]string)}
+	if r.Draining {
+		r.Ready = false
+	}
+	for _, n := range s.sortedNames() {
+		q, ok := s.get(n)
+		if !ok {
+			continue
+		}
+		h := q.healthState()
+		r.Queries[n] = h
+		if h == healthStalled {
+			r.Ready = false
+		}
+	}
+	return r
+}
+
 // handler builds the HTTP routing table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.RLock()
-		names := make([]string, 0, len(s.queries))
-		for n := range s.queries {
-			names = append(names, n)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := s.readiness()
+		if !rd.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		s.mu.RUnlock()
-		sort.Strings(names)
+		writeJSON(w, rd)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		names := s.sortedNames()
 		out := make([]status, 0, len(names))
 		for _, n := range names {
 			if q, ok := s.get(n); ok {

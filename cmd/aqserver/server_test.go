@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -107,5 +111,193 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if code := getJSON("/queries/test-sum/bogus", &none); code != 404 {
 		t.Fatalf("unknown endpoint returned %d", code)
+	}
+}
+
+// TestStatusResilienceFields asserts the degradation counters are
+// exported via the /queries/{name} status JSON.
+func TestStatusResilienceFields(t *testing.T) {
+	q := newQueryRunner("degraded-sum", 0.02,
+		window.Spec{Size: 10 * stream.Second, Slide: stream.Second}, window.Sum())
+	q.start(4, resilience.Block) // block: every tuple reaches the worker, so panics are deterministic
+	q.panicOn = func(it stream.Item) bool { return !it.Heartbeat && it.Tuple.Seq%1000 == 3 }
+	for _, tp := range gen.Sensor(20000, 9).Arrivals() {
+		q.feed(stream.DataItem(tp))
+	}
+	q.addRetries(7)
+	q.finish()
+
+	srv := newServer()
+	srv.add(q)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/queries/degraded-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"shedTuples", "sourceRetries", "stagePanics", "health", "realizedErrAdjusted"} {
+		if _, ok := raw[field]; !ok {
+			t.Fatalf("status JSON missing %q: %v", field, raw)
+		}
+	}
+	if raw["sourceRetries"].(float64) != 7 {
+		t.Fatalf("sourceRetries = %v, want 7", raw["sourceRetries"])
+	}
+	if raw["stagePanics"].(float64) != 20 {
+		t.Fatalf("stagePanics = %v, want 20 (panic isolation failed?)", raw["stagePanics"])
+	}
+	st := q.status()
+	if st.Health != healthDone {
+		t.Fatalf("health = %q after finish", st.Health)
+	}
+	// The poisoned tuples were isolated, not fatal: everything else in the
+	// stream was processed.
+	if st.TuplesIn+st.Panics != 20000 {
+		t.Fatalf("tuplesIn %d + panics %d != 20000", st.TuplesIn, st.Panics)
+	}
+}
+
+// TestWorkerShedPolicies exercises the bounded ingest queue: block loses
+// nothing; shed-newest under a full queue drops and counts.
+func TestWorkerShedPolicies(t *testing.T) {
+	arrivals := gen.Sensor(20000, 9).Arrivals()
+
+	block := newQueryRunner("block", 0.02,
+		window.Spec{Size: 10 * stream.Second, Slide: stream.Second}, window.Sum())
+	block.start(4, resilience.Block)
+	for _, tp := range arrivals {
+		block.feed(stream.DataItem(tp))
+	}
+	block.finish()
+	if st := block.status(); st.TuplesIn != 20000 || st.Shed != 0 {
+		t.Fatalf("block policy: in=%d shed=%d", st.TuplesIn, st.Shed)
+	}
+
+	shed := newQueryRunner("shed", 0.02,
+		window.Spec{Size: 10 * stream.Second, Slide: stream.Second}, window.Sum())
+	shed.start(4, resilience.ShedNewest)
+	for _, tp := range arrivals {
+		shed.feed(stream.DataItem(tp))
+	}
+	shed.finish()
+	st := shed.status()
+	if st.TuplesIn+st.Shed != 20000 {
+		t.Fatalf("shed policy lost tuples silently: in=%d shed=%d", st.TuplesIn, st.Shed)
+	}
+	if st.Shed == 0 {
+		t.Skip("feeder never outran the tiny queue on this machine")
+	}
+	if st.Health == healthFeeding {
+		t.Fatal("shedding runner still reports healthy feeding")
+	}
+	if st.RealizedErrAdj <= st.RealizedErr {
+		t.Fatalf("adjusted err %v not above realized %v despite %d sheds",
+			st.RealizedErrAdj, st.RealizedErr, st.Shed)
+	}
+}
+
+// TestAppDrain is the graceful-shutdown test: cancelling the feed context
+// (what SIGTERM does in main) must stop the loops, flush every runner's
+// windows via finish(), and flip /readyz to 503 with per-query health.
+func TestAppDrain(t *testing.T) {
+	a := newApp(appConfig{n: 5000, rate: 2_000_000, ingestCap: 64, policy: resilience.Block,
+		chaos: resilience.Chaos{ErrorRate: 0.001, DupRate: 0.001}, chaosOn: true})
+	ts := httptest.NewServer(a.srv.handler())
+	defer ts.Close()
+
+	getReady := func() (int, readiness) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rd readiness
+		if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rd
+	}
+
+	code, rd := getReady()
+	if code != 200 || !rd.Ready || rd.Draining {
+		t.Fatalf("before feeds: %d %+v", code, rd)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	a.startFeeds(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("queries never started ingesting")
+		}
+		// Every runner must have made real progress, or the cancel can land
+		// before a slow-starting query has anything to flush.
+		progressed := 0
+		for _, q := range a.runners {
+			if q.status().TuplesIn > 500 {
+				progressed++
+			}
+		}
+		if progressed == len(a.runners) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	a.drain()
+
+	code, rd = getReady()
+	if code != http.StatusServiceUnavailable || rd.Ready || !rd.Draining {
+		t.Fatalf("during drain: %d %+v", code, rd)
+	}
+	if len(rd.Queries) != len(a.runners) {
+		t.Fatalf("readyz reports %d queries, want %d", len(rd.Queries), len(a.runners))
+	}
+	for name, h := range rd.Queries {
+		if h != healthDone {
+			t.Fatalf("query %s health %q after drain, want %q", name, h, healthDone)
+		}
+	}
+	for _, q := range a.runners {
+		st := q.status()
+		if !st.Done {
+			t.Fatalf("runner %s not finished after drain", st.Name)
+		}
+		if st.Windows == 0 {
+			t.Fatalf("runner %s flushed no windows — finish() did not run?", st.Name)
+		}
+	}
+	// Idempotent: a second drain must not panic or deadlock.
+	a.drain()
+}
+
+// TestFeedLoopEmptyGeneratorMarksDone is the regression test for the old
+// silent-return: a generator yielding zero tuples must mark the query
+// done instead of leaving it in limbo forever.
+func TestFeedLoopEmptyGeneratorMarksDone(t *testing.T) {
+	q := newQueryRunner("empty", 0.02,
+		window.Spec{Size: 10 * stream.Second, Slide: stream.Second}, window.Sum())
+	q.start(16, resilience.Block)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		feedLoop(context.Background(), q, func(uint64) gen.Config { return gen.Config{} },
+			1, appConfig{rate: 1_000_000})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("feedLoop did not return on an empty generator")
+	}
+	if st := q.status(); !st.Done || st.Health != healthDone {
+		t.Fatalf("empty-generator query left in limbo: %+v", st)
 	}
 }

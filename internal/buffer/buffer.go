@@ -49,12 +49,17 @@ type Stats struct {
 	Stragglers int64       // released tuples that violated event-time order
 	MaxHeld    int         // high-water mark of buffered tuples
 	MaxK       stream.Time // largest slack used
+	// Shed counts tuples dropped upstream of the handler by an overload
+	// policy before they could be inserted. Handlers themselves never
+	// drop; the executor records the count here so one stats struct
+	// describes everything that happened to the input.
+	Shed int64
 }
 
 // String renders the counters.
 func (s Stats) String() string {
-	return fmt.Sprintf("buffer{in=%d out=%d stragglers=%d maxHeld=%d maxK=%d}",
-		s.Inserted, s.Released, s.Stragglers, s.MaxHeld, s.MaxK)
+	return fmt.Sprintf("buffer{in=%d out=%d stragglers=%d shed=%d maxHeld=%d maxK=%d}",
+		s.Inserted, s.Released, s.Stragglers, s.Shed, s.MaxHeld, s.MaxK)
 }
 
 // tupleHeap is a binary min-heap on (TS, Seq). A hand-rolled heap avoids

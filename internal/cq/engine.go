@@ -3,8 +3,11 @@ package cq
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 
 	"repro/internal/buffer"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -18,6 +21,9 @@ type released struct {
 	mark  bool // boundary marker: results so far were progress-emitted
 }
 
+// defaultIngestCap is the historical bound on the source→disorder channel.
+const defaultIngestCap = 256
+
 // RunConcurrent executes the query as a pipeline of goroutines connected
 // by channels: source → transform → disorder handler → window operator.
 // Results are streamed to sink (from the window stage's goroutine) as they
@@ -26,7 +32,20 @@ type released struct {
 //
 // The per-stage operators are single-writer, so no locking is needed; the
 // channels provide the happens-before edges. Output is identical to Run
-// for the same query, because every stage preserves arrival order.
+// for the same query (absent faults and shedding), because every stage
+// preserves arrival order.
+//
+// Failure semantics: a panic in any stage is recovered, cancels the
+// pipeline, and is returned as an error naming the stage. A source error
+// is retried per the Retry policy (if configured) and aborts the pipeline
+// once the budget is exhausted or the circuit breaker opens. Under the
+// shedding overload policies a full ingest queue drops tuples instead of
+// blocking; drops are counted on the report and — because shed tuples are
+// still recorded as input — degrade the oracle-compared realized quality.
+// Cancellation never deadlocks, even when sink blocks forever: the drain
+// loop abandons the window stage rather than waiting on it (the stuck
+// sink's goroutine is leaked, which is the best Go can do about a callback
+// that never returns).
 func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) (*AggReport, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
@@ -41,21 +60,69 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	op := window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
 	rep := &AggReport{}
 
-	items := make(chan stream.Item, 256)
+	// Internal cancellation: stage failures cancel the whole pipeline so
+	// sibling stages blocked on channel operations unwind promptly.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var failMu sync.Mutex
+	var failErr error
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+		cancel()
+	}
+	failure := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr
+	}
+	// recoverStage converts a stage panic into a pipeline error naming
+	// the stage; it must run before the stage's channel-closing defer.
+	recoverStage := func(stage string) {
+		if p := recover(); p != nil {
+			fail(fmt.Errorf("cq: %s stage panicked: %v", stage, p))
+		}
+	}
+
+	ingestCap := q.ingestCap
+	if ingestCap <= 0 {
+		ingestCap = defaultIngestCap
+	}
+	items := make(chan stream.Item, ingestCap)
 	rels := make(chan released, 256)
 	done := make(chan struct{})
 
-	// Stage 1+2: source + transform. Owns the source and the report's
-	// input/disorder fields until it closes items.
+	src := q.source
+	var retrier *resilience.RetryingSource
+	if q.retry != nil {
+		retrier = resilience.NewRetryingSource(ctx, src, *q.retry)
+		src = retrier
+	}
+
+	// Stage 1+2: source + transform. Owns the source, the shed counter and
+	// the report's input/disorder fields until it closes items.
 	var inputTuples []stream.Tuple
 	var disorderSrc []stream.Tuple
+	var shed int64
 	go func() {
 		defer close(items)
+		defer recoverStage("source")
+		var maxTS stream.Time
+		tsStarted := false
 		for {
-			it, ok := q.source.Next()
+			it, ok, err := src.NextErr()
+			if err != nil {
+				fail(fmt.Errorf("cq: source: %w", err))
+				return
+			}
 			if !ok {
 				return
 			}
+			late := false
 			if !it.Heartbeat {
 				t, keep := q.transform(it.Tuple)
 				if !keep {
@@ -66,11 +133,30 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					inputTuples = append(inputTuples, t)
 				}
 				disorderSrc = append(disorderSrc, stream.Tuple{TS: t.TS, Arrival: t.Arrival})
+				late = tsStarted && t.TS < maxTS
+				if !tsStarted || t.TS > maxTS {
+					maxTS, tsStarted = t.TS, true
+				}
 			}
-			select {
-			case items <- it:
-			case <-ctx.Done():
-				return
+			// Overload policy: heartbeats are progress signals and are
+			// never shed; a full queue applies backpressure to them.
+			canShed := !it.Heartbeat &&
+				(q.overload == resilience.ShedNewest || (q.overload == resilience.ShedLate && late))
+			if canShed {
+				select {
+				case items <- it:
+				case <-ctx.Done():
+					return
+				default:
+					shed++
+					continue
+				}
+			} else {
+				select {
+				case items <- it:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()
@@ -78,6 +164,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	// Stage 3: disorder handler. Owns handler state.
 	go func() {
 		defer close(rels)
+		defer recoverStage("disorder")
 		var now stream.Time
 		var rel []stream.Tuple
 		for it := range items {
@@ -96,6 +183,9 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					return
 				}
 			}
+		}
+		if failure() != nil {
+			return // upstream failed: don't emit a bogus final flush
 		}
 		select {
 		case rels <- released{now: now, mark: true}:
@@ -119,8 +209,12 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	// Stage 4: window operator + sink. Owns op state and rep.Results.
 	go func() {
 		defer close(done)
+		defer recoverStage("window")
 		var scratch []window.Result
 		for r := range rels {
+			if ctx.Err() != nil {
+				continue // cancelled: drain rels without invoking the sink
+			}
 			switch {
 			case r.mark:
 				rep.PreFlush = len(rep.Results)
@@ -141,16 +235,33 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 
 	select {
 	case <-done:
+		if err := failure(); err != nil {
+			return nil, err
+		}
 	case <-ctx.Done():
-		// Drain stages so their goroutines exit, then report the
-		// cancellation.
-		<-done
+		// Drain rels alongside (or instead of) stage 4 so the disorder
+		// stage can exit and close it — this must not wait on done,
+		// because a sink that blocks forever would wedge stage 4 and,
+		// with it, the old `<-done` drain. Stage 1 and 3 exit via their
+		// ctx selects; rels is closed by stage 3's defer, ending this
+		// loop without timeouts.
+		for range rels {
+		}
+		if err := failure(); err != nil {
+			return nil, err
+		}
 		return nil, ctx.Err()
 	}
 
 	rep.Input = inputTuples
 	rep.Disorder = stream.MeasureDisorder(disorderSrc)
-	rep.Handler = handler.Stats()
+	st := handler.Stats()
+	st.Shed = shed
+	rep.Handler = st
+	rep.Shed = shed
+	if retrier != nil {
+		rep.Retries = retrier.Retries()
+	}
 	rep.Op = op.Stats()
 	return rep, nil
 }

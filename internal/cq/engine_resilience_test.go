@@ -1,0 +1,315 @@
+package cq
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// panicHandler panics on the (after+1)-th Insert.
+type panicHandler struct {
+	buffer.Handler
+	after int
+	n     int
+}
+
+func (p *panicHandler) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	p.n++
+	if p.n > p.after {
+		panic("poisoned tuple")
+	}
+	return p.Handler.Insert(it, out)
+}
+
+// runWithDeadline runs the query and fails the test if it does not return
+// within the deadline — the regression the panic isolation exists for.
+func runWithDeadline(t *testing.T, d time.Duration, q *AggQuery, sink func(window.Result)) (*AggReport, error) {
+	t.Helper()
+	type outcome struct {
+		rep *AggReport
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rep, err := q.RunConcurrent(context.Background(), sink)
+		ch <- outcome{rep, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.rep, o.err
+	case <-time.After(d):
+		t.Fatalf("RunConcurrent did not return within %v", d)
+		return nil, nil
+	}
+}
+
+func TestRunConcurrentStagePanics(t *testing.T) {
+	mkTuples := func() []stream.Tuple { return gen.Sensor(5000, 3).Arrivals() }
+	cases := []struct {
+		name      string
+		wantStage string
+		build     func() *AggQuery
+		sink      func(window.Result)
+	}{
+		{
+			name:      "source stage panic",
+			wantStage: "source stage panicked",
+			build: func() *AggQuery {
+				n := 0
+				src := stream.FuncSource(func() (stream.Item, bool) {
+					if n >= 100 {
+						panic("source exploded")
+					}
+					t := stream.Tuple{TS: stream.Time(n), Arrival: stream.Time(n), Seq: uint64(n)}
+					n++
+					return stream.DataItem(t), true
+				})
+				return New(src).Window(testSpec, window.Sum())
+			},
+		},
+		{
+			name:      "disorder stage panic",
+			wantStage: "disorder stage panicked",
+			build: func() *AggQuery {
+				h := &panicHandler{Handler: buffer.NewKSlack(100), after: 50}
+				return New(stream.FromTuples(mkTuples())).Handle(h).Window(testSpec, window.Sum())
+			},
+		},
+		{
+			name:      "window stage panic",
+			wantStage: "window stage panicked",
+			build: func() *AggQuery {
+				return New(stream.FromTuples(mkTuples())).Window(testSpec, window.Sum())
+			},
+			sink: func(window.Result) { panic("sink exploded") },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := runWithDeadline(t, time.Second, tc.build(), tc.sink)
+			if err == nil {
+				t.Fatalf("no error (rep=%v)", rep)
+			}
+			if !strings.Contains(err.Error(), tc.wantStage) {
+				t.Fatalf("error %q does not name the stage (%q)", err, tc.wantStage)
+			}
+		})
+	}
+}
+
+// TestRunConcurrentBlockingSinkCancellation is the regression test for the
+// old drain: on cancellation the executor blocked on the window stage's
+// done channel, which a sink that never returns wedged forever.
+func TestRunConcurrentBlockingSinkCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	var once sync.Once
+	sink := func(window.Result) {
+		once.Do(func() { close(entered) })
+		select {} // block forever; the executor must not wait for us
+	}
+	go func() {
+		<-entered
+		cancel()
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := New(stream.FromTuples(gen.Sensor(50000, 5).Arrivals())).
+			Handle(buffer.NewKSlack(100*stream.Millisecond)).
+			Window(testSpec, window.Sum()).
+			RunConcurrent(ctx, sink)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancellation deadlocked on the blocking sink")
+	}
+}
+
+func TestRunConcurrentSourceError(t *testing.T) {
+	boom := errors.New("upstream gone")
+	mkSrc := func(transientFails int) stream.ErrSource {
+		n, fails := 0, 0
+		return stream.ErrFuncSource(func() (stream.Item, bool, error) {
+			if n >= 200 {
+				if transientFails < 0 {
+					return stream.Item{}, false, boom // permanent failure mid-stream
+				}
+				return stream.Item{}, false, nil
+			}
+			if n == 100 && fails < transientFails {
+				fails++
+				return stream.Item{}, false, boom
+			}
+			t := stream.Tuple{TS: stream.Time(n), Arrival: stream.Time(n), Seq: uint64(n), Value: 1}
+			n++
+			return stream.DataItem(t), true, nil
+		})
+	}
+
+	t.Run("unretried error aborts", func(t *testing.T) {
+		_, err := NewFallible(mkSrc(-1)).Window(testSpec, window.Sum()).
+			RunConcurrent(context.Background(), nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want wrapped boom", err)
+		}
+	})
+	t.Run("retry rides through transients", func(t *testing.T) {
+		rep, err := NewFallible(mkSrc(3)).Window(testSpec, window.Sum()).
+			Retry(resilience.Retry{MaxAttempts: 5, BaseDelay: time.Microsecond}).
+			RunConcurrent(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("retry did not recover: %v", err)
+		}
+		if rep.Retries != 3 {
+			t.Fatalf("Retries = %d, want 3", rep.Retries)
+		}
+		if got := rep.Handler.Inserted; got != 200 {
+			t.Fatalf("Inserted = %d, want 200 (no tuple lost or duplicated)", got)
+		}
+	})
+	t.Run("retry budget exhausts", func(t *testing.T) {
+		_, err := NewFallible(mkSrc(-1)).Window(testSpec, window.Sum()).
+			Retry(resilience.Retry{MaxAttempts: 3, BaseDelay: time.Microsecond}).
+			RunConcurrent(context.Background(), nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want wrapped boom", err)
+		}
+	})
+	t.Run("sync Run surfaces the error unretried", func(t *testing.T) {
+		_, err := NewFallible(mkSrc(-1)).Window(testSpec, window.Sum()).Run()
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want wrapped boom", err)
+		}
+	})
+}
+
+// TestChaosPipeline is the acceptance chaos run: errors + stalls +
+// duplicates + delay spikes through FaultSource at a fixed seed, with
+// shedding enabled and a consumer wedged for the duration of the feed. The
+// pipeline must terminate, count its retries and sheds, and report a
+// realized error that is honestly worse than the clean run's.
+func TestChaosPipeline(t *testing.T) {
+	tuples := gen.Sensor(30000, 7).Arrivals()
+	spec := testSpec
+	agg := window.Sum()
+	opts := metrics.CompareOpts{SkipWarmup: 2, SkipEmptyOracle: true}
+
+	clean, err := New(stream.FromTuples(tuples)).
+		Handle(buffer.NewKSlack(200 * stream.Millisecond)).
+		Window(spec, agg).KeepInput().
+		RunConcurrent(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	cleanQ := clean.Quality(spec, agg, opts)
+
+	fs := resilience.NewFaultSource(stream.AsErrSource(stream.FromTuples(tuples)), resilience.Chaos{
+		Seed:      42,
+		ErrorRate: 0.002,
+		StallRate: 0.0005, StallDur: 50 * time.Microsecond,
+		DupRate:   0.002,
+		SpikeRate: 0.0005, SpikeLen: 16,
+	})
+	// eof closes when the fault source is exhausted; the sink blocks on it
+	// so the whole feed runs against a wedged consumer and the shedding
+	// policy, not backpressure, must absorb the overload.
+	eof := make(chan struct{})
+	var eofOnce sync.Once
+	src := stream.ErrFuncSource(func() (stream.Item, bool, error) {
+		it, ok, err := fs.NextErr()
+		if err == nil && !ok {
+			eofOnce.Do(func() { close(eof) })
+		}
+		return it, ok, err
+	})
+	var firstResult sync.Once
+	sink := func(window.Result) { firstResult.Do(func() { <-eof }) }
+
+	rep, err := NewFallible(src).
+		Handle(buffer.NewKSlack(200 * stream.Millisecond)).
+		Window(spec, agg).KeepInput().
+		Retry(resilience.Retry{MaxAttempts: 8, BaseDelay: time.Microsecond, MaxDelay: 100 * time.Microsecond, Seed: 42}).
+		Overload(resilience.ShedNewest, 4).
+		RunConcurrent(context.Background(), sink)
+	if err != nil {
+		t.Fatalf("chaos run did not terminate cleanly: %v", err)
+	}
+
+	st := fs.Stats()
+	if st.Errors == 0 || st.Duplicates == 0 || st.Stalls == 0 || st.DelaySpikes == 0 {
+		t.Fatalf("chaos config did not exercise every fault: %v", st)
+	}
+	if rep.Retries == 0 {
+		t.Fatalf("injected %d source errors but counted no retries", st.Errors)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("wedged consumer + ShedNewest produced no sheds")
+	}
+	if rep.Handler.Shed != rep.Shed {
+		t.Fatalf("Handler.Shed = %d, report Shed = %d", rep.Handler.Shed, rep.Shed)
+	}
+
+	chaosQ := rep.Quality(spec, agg, opts)
+	if !(chaosQ.MeanRelErr > cleanQ.MeanRelErr) {
+		t.Fatalf("shed-degraded realized error %.6f does not exceed clean %.6f — shedding is being hidden",
+			chaosQ.MeanRelErr, cleanQ.MeanRelErr)
+	}
+	t.Logf("clean meanErr=%.5f chaos meanErr=%.5f shed=%d retries=%d faults=%v",
+		cleanQ.MeanRelErr, chaosQ.MeanRelErr, rep.Shed, rep.Retries, st)
+}
+
+// TestRunConcurrentShedLateOnlyDropsLate verifies the quality-aware
+// policy: whatever ShedLate drops under pressure, in-order tuples always
+// survive — the shed count is bounded by the input's out-of-order count
+// even with a tiny queue and a wedged consumer.
+func TestRunConcurrentShedLateOnlyDropsLate(t *testing.T) {
+	tuples := gen.Sensor(20000, 11).Arrivals()
+	var lateTotal int64
+	var maxTS stream.Time = -1
+	for _, tp := range tuples {
+		if tp.TS < maxTS {
+			lateTotal++
+		} else {
+			maxTS = tp.TS
+		}
+	}
+	if lateTotal == 0 {
+		t.Fatal("workload has no late tuples; test is vacuous")
+	}
+
+	var wedge sync.Once
+	block := make(chan struct{})
+	time.AfterFunc(200*time.Millisecond, func() { close(block) })
+	sink := func(window.Result) { wedge.Do(func() { <-block }) }
+
+	rep, err := New(stream.FromTuples(tuples)).
+		Handle(buffer.NewKSlack(100 * stream.Millisecond)).
+		Window(testSpec, window.Sum()).
+		Overload(resilience.ShedLate, 4).
+		RunConcurrent(context.Background(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed > lateTotal {
+		t.Fatalf("ShedLate shed %d tuples but only %d were late", rep.Shed, lateTotal)
+	}
+	if got := rep.Handler.Inserted; got != int64(len(tuples))-rep.Shed {
+		t.Fatalf("Inserted = %d, want %d - %d shed", got, len(tuples), rep.Shed)
+	}
+}

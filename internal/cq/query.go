@@ -13,18 +13,20 @@ package cq
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/buffer"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
 
 // AggQuery is a single-stream windowed-aggregate continuous query.
-// Construct with New, chain option methods, then call Run or
-// RunConcurrent.
+// Construct with New (or NewFallible for sources that can fail), chain
+// option methods, then call Run or RunConcurrent.
 type AggQuery struct {
-	source    stream.Source
+	source    stream.ErrSource
 	filter    func(stream.Tuple) bool
 	mapFn     func(stream.Tuple) stream.Tuple
 	handler   buffer.Handler
@@ -35,11 +37,25 @@ type AggQuery struct {
 	keepInput bool
 	grouped   bool
 
+	retry     *resilience.Retry
+	overload  resilience.OverloadPolicy
+	ingestCap int
+
 	hasWindow bool
 }
 
 // New starts building a query over the given arrival-ordered source.
 func New(source stream.Source) *AggQuery {
+	if source == nil {
+		return &AggQuery{}
+	}
+	return &AggQuery{source: stream.AsErrSource(source)}
+}
+
+// NewFallible starts building a query over a source whose delivery can
+// fail (stream.ErrSource). Pair it with Retry to make RunConcurrent ride
+// through transient failures instead of aborting on the first one.
+func NewFallible(source stream.ErrSource) *AggQuery {
 	return &AggQuery{source: source}
 }
 
@@ -82,6 +98,26 @@ func (q *AggQuery) KeepInput() *AggQuery {
 	return q
 }
 
+// Retry configures retry-with-backoff (and, when the config asks for it,
+// a circuit breaker) around a fallible source. Only RunConcurrent applies
+// it; the synchronous Run executor stays deterministic and surfaces the
+// first source error unretried.
+func (q *AggQuery) Retry(r resilience.Retry) *AggQuery {
+	q.retry = &r
+	return q
+}
+
+// Overload bounds RunConcurrent's ingest queue at capacity items and sets
+// the policy applied when it is full. The default (capacity 0) keeps the
+// historical 256-item queue with blocking backpressure. Shed tuples are
+// counted in AggReport.Shed (and Handler.Shed) and — because they are
+// still recorded as query input — degrade the oracle-compared realized
+// quality instead of being silently absorbed.
+func (q *AggQuery) Overload(policy resilience.OverloadPolicy, capacity int) *AggQuery {
+	q.overload, q.ingestCap = policy, capacity
+	return q
+}
+
 // GroupBy partitions the window aggregate by tuple key (GROUP BY key):
 // each key gets independent windows sharing one event-time clock. Results
 // land in AggReport.Keyed instead of AggReport.Results. Only the
@@ -117,6 +153,14 @@ type AggReport struct {
 	// forced out by the end-of-stream flush and carry boundary latencies
 	// (latency metrics skip them).
 	PreFlush int
+	// Shed counts tuples dropped by the overload policy (RunConcurrent
+	// only). Shed tuples remain part of Input/Disorder, so oracle-based
+	// quality honestly reflects the loss; Handler.Shed carries the same
+	// count for handler-level reporting.
+	Shed int64
+	// Retries counts source retry attempts spent by the Retry policy
+	// (RunConcurrent only).
+	Retries int64
 }
 
 // Oracle computes exact ground-truth results for the report's input; the
@@ -195,7 +239,12 @@ func (q *AggQuery) Run() (*AggReport, error) {
 	var rel []stream.Tuple
 	var now stream.Time
 	for {
-		it, ok := q.source.Next()
+		it, ok, err := q.source.NextErr()
+		if err != nil {
+			// Run is the deterministic harness executor: no retries, no
+			// wall-clock backoff; a fallible source's first error ends it.
+			return nil, fmt.Errorf("cq: source: %w", err)
+		}
 		if !ok {
 			break
 		}

@@ -231,3 +231,24 @@ func TestCompareKeyedEmpty(t *testing.T) {
 		t.Fatalf("empty: %+v", q)
 	}
 }
+
+func TestShedAdjustedErr(t *testing.T) {
+	if got := ShedAdjustedErr(0.01, 0, 1000); got != 0.01 {
+		t.Fatalf("no shed: %v", got)
+	}
+	if got := ShedAdjustedErr(0.01, 100, 900); math.Abs(got-0.11) > 1e-12 {
+		t.Fatalf("10%% shed: %v, want 0.11", got)
+	}
+	if got := ShedAdjustedErr(0.5, 0, 0); got != 0.5 {
+		t.Fatalf("degenerate counts: %v", got)
+	}
+	// Monotone: more shedding never reports better quality.
+	prev := -1.0
+	for shed := int64(0); shed <= 1000; shed += 100 {
+		if got := ShedAdjustedErr(0.02, shed, 1000); got < prev {
+			t.Fatalf("adjusted error decreased at shed=%d: %v < %v", shed, got, prev)
+		} else {
+			prev = got
+		}
+	}
+}

@@ -151,6 +151,22 @@ func relErr(e, o, floor float64) float64 {
 // RelErr exposes the relative-error definition for tests and estimators.
 func RelErr(emitted, oracle float64) float64 { return relErr(emitted, oracle, 1e-9) }
 
+// ShedAdjustedErr folds load-shedding loss into a realized relative-error
+// estimate. A shed tuple never reaches the operator, so estimators that
+// only see accepted tuples (e.g. the adaptive handler's realized-error
+// EWMA) understate the true error of a shedding run. To first order a
+// uniformly shed fraction f of the input removes f of each window's mass,
+// which for the additive aggregates is a relative error contribution of f;
+// the adjusted estimate is therefore realized + shed/(shed+accepted).
+// With nothing shed the estimate is returned unchanged, so honest runs
+// pay nothing.
+func ShedAdjustedErr(realized float64, shed, accepted int64) float64 {
+	if shed <= 0 || shed+accepted <= 0 {
+		return realized
+	}
+	return realized + float64(shed)/float64(shed+accepted)
+}
+
 // CompareKeyed aligns per-key results with the per-key oracle by
 // (key, window index) and summarizes the error, mirroring Compare.
 // SkipWarmup applies per key (each key's first windows are its warm-up).

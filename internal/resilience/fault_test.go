@@ -1,0 +1,211 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// tuples builds n arrival-ordered data tuples, one per millisecond.
+func tuples(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		ts := stream.Time(i)
+		out[i] = stream.Tuple{TS: ts, Arrival: ts + 5, Seq: uint64(i), Value: float64(i)}
+	}
+	return out
+}
+
+func drain(t *testing.T, fs *FaultSource, retry bool) []stream.Item {
+	t.Helper()
+	var out []stream.Item
+	for i := 0; ; i++ {
+		if i > 1_000_000 {
+			t.Fatal("source did not terminate")
+		}
+		it, ok, err := fs.NextErr()
+		if err != nil {
+			if !retry {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			continue
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, it)
+	}
+}
+
+func TestFaultSourcePassThrough(t *testing.T) {
+	in := tuples(100)
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(in)), Chaos{})
+	out := drain(t, fs, false)
+	if len(out) != len(in) {
+		t.Fatalf("got %d items, want %d", len(out), len(in))
+	}
+	for i, it := range out {
+		if it.Tuple != in[i] {
+			t.Fatalf("item %d mutated: %v != %v", i, it.Tuple, in[i])
+		}
+	}
+	if st := fs.Stats(); st.Delivered != 100 || st.Errors != 0 || st.Duplicates != 0 {
+		t.Fatalf("unexpected stats: %v", st)
+	}
+}
+
+func TestFaultSourceDeterministicBySeed(t *testing.T) {
+	cfg := Chaos{Seed: 42, ErrorRate: 0.05, DupRate: 0.05, SpikeRate: 0.01, SpikeLen: 8}
+	run := func() ([]stream.Item, FaultStats) {
+		fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(tuples(2000))), cfg)
+		return drain(t, fs, true), fs.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("stats differ across identical runs: %v vs %v", sa, sb)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("item counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if sa.Errors == 0 || sa.Duplicates == 0 || sa.DelaySpikes == 0 {
+		t.Fatalf("expected every fault type to fire: %v", sa)
+	}
+}
+
+func TestFaultSourceErrorsAreTransient(t *testing.T) {
+	in := tuples(500)
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(in)), Chaos{Seed: 1, ErrorRate: 0.2})
+	out := drain(t, fs, true)
+	if len(out) != len(in) {
+		t.Fatalf("errors consumed items: got %d, want %d", len(out), len(in))
+	}
+	if fs.Stats().Errors == 0 {
+		t.Fatal("no errors injected at rate 0.2")
+	}
+	// Retrying around errors must preserve the item sequence exactly.
+	for i, it := range out {
+		if it.Tuple.Seq != in[i].Seq {
+			t.Fatalf("sequence broken at %d: %v", i, it.Tuple)
+		}
+	}
+}
+
+func TestFaultSourceMaxErrors(t *testing.T) {
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(tuples(1000))), Chaos{Seed: 3, ErrorRate: 0.5, MaxErrors: 7})
+	drain(t, fs, true)
+	if got := fs.Stats().Errors; got != 7 {
+		t.Fatalf("Errors = %d, want capped at 7", got)
+	}
+}
+
+func TestFaultSourceDuplicates(t *testing.T) {
+	in := tuples(1000)
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(in)), Chaos{Seed: 5, DupRate: 0.1})
+	out := drain(t, fs, false)
+	st := fs.Stats()
+	if st.Duplicates == 0 {
+		t.Fatal("no duplicates at rate 0.1")
+	}
+	if len(out) != len(in)+int(st.Duplicates) {
+		t.Fatalf("got %d items, want %d + %d dups", len(out), len(in), st.Duplicates)
+	}
+	assertArrivalOrdered(t, out)
+}
+
+func TestFaultSourceDelaySpikes(t *testing.T) {
+	in := tuples(5000)
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(in)), Chaos{Seed: 9, SpikeRate: 0.01, SpikeLen: 16})
+	out := drain(t, fs, false)
+	st := fs.Stats()
+	if st.DelaySpikes == 0 {
+		t.Fatal("no spikes at rate 0.01")
+	}
+	if len(out) != len(in) {
+		t.Fatalf("spikes lost tuples: got %d, want %d", len(out), len(in))
+	}
+	seen := make(map[uint64]bool, len(out))
+	lateness := 0
+	var maxTS stream.Time = -1
+	for _, it := range out {
+		if seen[it.Tuple.Seq] {
+			t.Fatalf("seq %d delivered twice", it.Tuple.Seq)
+		}
+		seen[it.Tuple.Seq] = true
+		if it.Tuple.TS < maxTS {
+			lateness++
+		} else {
+			maxTS = it.Tuple.TS
+		}
+	}
+	if lateness == 0 {
+		t.Fatal("delay spikes produced no event-time disorder")
+	}
+	assertArrivalOrdered(t, out)
+}
+
+func TestFaultSourcePrematureEOF(t *testing.T) {
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(tuples(1000))), Chaos{CutAfter: 250})
+	out := drain(t, fs, false)
+	if len(out) != 250 {
+		t.Fatalf("got %d items, want 250", len(out))
+	}
+	if !fs.Stats().Truncated {
+		t.Fatal("Truncated not recorded")
+	}
+}
+
+func TestFaultSourceStalls(t *testing.T) {
+	fs := NewFaultSource(stream.AsErrSource(stream.FromTuples(tuples(200))),
+		Chaos{Seed: 2, StallRate: 0.1, StallDur: 100 * time.Microsecond})
+	start := time.Now()
+	drain(t, fs, false)
+	st := fs.Stats()
+	if st.Stalls == 0 {
+		t.Fatal("no stalls at rate 0.1")
+	}
+	if time.Since(start) < time.Duration(st.Stalls)*100*time.Microsecond {
+		t.Fatalf("stalls did not consume wall time (%d stalls in %v)", st.Stalls, time.Since(start))
+	}
+}
+
+func assertArrivalOrdered(t *testing.T, items []stream.Item) {
+	t.Helper()
+	var prev stream.Time = -1
+	for i, it := range items {
+		if arr := it.Tuple.Arrival; arr < prev {
+			t.Fatalf("arrival order broken at %d: %d < %d", i, arr, prev)
+		} else {
+			prev = arr
+		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("seed=7,err=0.01,stall=0.001,stalldur=5ms,dup=0.005,spike=0.001,spikelen=32,cut=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Chaos{Seed: 7, ErrorRate: 0.01, StallRate: 0.001, StallDur: 5 * time.Millisecond,
+		DupRate: 0.005, SpikeRate: 0.001, SpikeLen: 32, CutAfter: 100}
+	if c != want {
+		t.Fatalf("ParseChaos = %+v, want %+v", c, want)
+	}
+	if !c.Enabled() {
+		t.Fatal("parsed config should be enabled")
+	}
+	if c, err := ParseChaos(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"nope", "zap=1", "err=x"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Fatalf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}

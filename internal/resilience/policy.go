@@ -1,0 +1,46 @@
+package resilience
+
+import "fmt"
+
+// OverloadPolicy decides what a bounded ingest queue does when it is full.
+// Block preserves every tuple at the cost of backpressure all the way to
+// the source; the shedding policies trade tuples for liveness and account
+// for the loss in the reported quality metrics instead of hiding it.
+type OverloadPolicy int
+
+const (
+	// Block applies backpressure: the producer waits for queue space.
+	Block OverloadPolicy = iota
+	// ShedNewest drops the incoming tuple when the queue is full.
+	ShedNewest
+	// ShedLate drops the incoming tuple only if it is late (its event
+	// time is behind the stream clock); on-time tuples block instead.
+	// Late tuples are the cheapest to lose: they carry the smallest
+	// marginal quality contribution under slack-based compensation.
+	ShedLate
+)
+
+// String names the policy (the aqserver flag syntax).
+func (p OverloadPolicy) String() string {
+	switch p {
+	case ShedNewest:
+		return "shed-newest"
+	case ShedLate:
+		return "shed-late"
+	default:
+		return "block"
+	}
+}
+
+// ParseOverloadPolicy parses the flag syntax accepted by aqserver.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "", "block":
+		return Block, nil
+	case "shed-newest", "shed":
+		return ShedNewest, nil
+	case "shed-late":
+		return ShedLate, nil
+	}
+	return Block, fmt.Errorf("resilience: unknown overload policy %q (want block, shed-newest or shed-late)", s)
+}

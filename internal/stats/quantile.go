@@ -185,7 +185,12 @@ func (g *GK) flush() {
 		} else if len(out) == 0 || i >= len(g.entries) {
 			delta = 0 // new min or max: exact rank
 		} else {
-			delta = int64(2 * g.eps * float64(g.n)) // interior insertion
+			// Interior insertion: floor(2εn)−1, so that g+Δ = floor(2εn)
+			// ≤ 2εn keeps the summary invariant the query proof needs.
+			delta = int64(2*g.eps*float64(g.n)) - 1
+			if delta < 0 {
+				delta = 0
+			}
 		}
 		out = append(out, gkEntry{v: x, g: 1, delta: delta})
 		g.n++
@@ -233,13 +238,19 @@ func (g *GK) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(q*float64(g.n)) + 1
-	allow := int64(g.eps * float64(g.n))
+	target := float64(int64(q*float64(g.n)) + 1)
+	if target > float64(g.n) {
+		target = float64(g.n)
+	}
+	// The allowance must stay real-valued: truncating εn to an integer
+	// (e.g. 0.95 → 0) can make the rank test unsatisfiable for every
+	// entry even though the summary invariant guarantees a witness.
+	allow := g.eps * float64(g.n)
 	var rmin int64
 	for i, e := range g.entries {
 		rmin += e.g
 		rmax := rmin + e.delta
-		if target-rmin <= allow && rmax-target <= allow {
+		if target-float64(rmin) <= allow && float64(rmax)-target <= allow {
 			return e.v
 		}
 		if i == len(g.entries)-1 {
