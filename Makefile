@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz
+.PHONY: check vet build test race fuzz-short fuzz doccheck
 
-check: vet build race fuzz-short
+check: vet build race fuzz-short doccheck
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,13 @@ fuzz-short:
 	$(GO) test ./internal/buffer -run '^$$' -fuzz '^FuzzPercentileHandler$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzGKQuantile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzP2Bounds$$' -fuzztime $(FUZZTIME)
+
+# Documentation gate: `go vet`-clean telemetry package (vet ./... above
+# already covers it; this pins it even if the wide vet target changes)
+# and no dead relative links in any *.md file.
+doccheck:
+	$(GO) vet ./internal/obs
+	$(GO) test . -run '^TestDocLinks$$'
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

@@ -6,13 +6,16 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -191,6 +194,35 @@ func BenchmarkJoinProbe(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkTelemetryOverhead measures the cost of full pipeline
+// instrumentation (cq.Telemetry + core.Telemetry into an obs registry)
+// on the concurrent engine: the "off"/"on" sub-benchmarks run the same
+// adaptive query uninstrumented and instrumented. The acceptance bar is
+// <3% throughput loss (EXPERIMENTS.md R15).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	tuples := benchTuples(100000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	run := func(b *testing.B, instrumented bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := core.NewAQKSlack(core.Config{Theta: 0.01, Spec: spec, Agg: window.Sum()})
+			q := cq.New(stream.FromTuples(tuples)).Handle(h).Window(spec, window.Sum())
+			if instrumented {
+				reg := obs.NewRegistry()
+				h.Instrument(core.NewTelemetry(reg, "bench"))
+				q.Instrument(cq.NewTelemetry(reg, "bench"))
+			}
+			if _, err := q.RunConcurrent(context.Background(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkGKSketchAdd measures the lateness sketch's insert cost.

@@ -11,6 +11,8 @@
 //	GET /queries/{name}               one query's status
 //	GET /queries/{name}/results?last=N recent window results
 //	GET /queries/{name}/trace         adaptation trace (K over time)
+//	GET /metrics                      Prometheus text format (with -obs)
+//	GET /debug/pprof/...              Go profiling endpoints (with -obs)
 //
 // The streams are replayed at -rate tuples/second of wall time (the
 // stream's internal timestamps are unchanged), so the statuses evolve
@@ -25,6 +27,13 @@
 // the status JSON and folded into realizedErrAdjusted. On SIGINT/SIGTERM
 // the server drains: feed loops stop, every query's windows are flushed,
 // /readyz flips to 503, and the process exits 0.
+//
+// Observability: -obs instruments every query with per-query Prometheus
+// metrics (buffer slack/depth, controller adaptation, quality estimates,
+// emission-latency histograms, shed/retry/panic counters) served at
+// /metrics, and mounts net/http/pprof under /debug/pprof/. See
+// docs/OBSERVABILITY.md for the metric catalog and a worked monitoring
+// walkthrough.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -52,6 +62,7 @@ type appConfig struct {
 	policy    resilience.OverloadPolicy
 	chaos     resilience.Chaos
 	chaosOn   bool
+	obs       bool // serve /metrics + pprof and instrument every query
 }
 
 // app ties the HTTP state, the query runners and their feed loops
@@ -66,6 +77,10 @@ type app struct {
 
 func newApp(cfg appConfig) *app {
 	a := &app{cfg: cfg, srv: newServer()}
+	if cfg.obs {
+		a.srv.reg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(a.srv.reg)
+	}
 	specs := []struct {
 		name  string
 		theta float64
@@ -82,6 +97,9 @@ func newApp(cfg appConfig) *app {
 	}
 	for _, sp := range specs {
 		q := newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
+		if a.srv.reg != nil {
+			q.instrument(a.srv.reg)
+		}
 		q.start(cfg.ingestCap, cfg.policy)
 		a.srv.add(q)
 		a.runners = append(a.runners, q)
@@ -123,6 +141,7 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.01,stall=0.001,stalldur=5ms,dup=0.005,spike=0.001 (empty = off)")
 	overload := flag.String("overload", "block", "ingest overload policy: block, shed-newest or shed-late")
 	ingestCap := flag.Int("ingest", 1024, "bounded ingest queue capacity per query")
+	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
 	flag.Parse()
 
 	chaos, err := resilience.ParseChaos(*chaosSpec)
@@ -134,7 +153,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap,
-		policy: policy, chaos: chaos, chaosOn: chaos.Enabled()}
+		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,116 @@
+package main
+
+// Observability wiring: with -obs the server owns an obs.Registry,
+// every query runner registers per-query instruments into it, and the
+// HTTP mux gains /metrics (Prometheus text format) plus the standard
+// net/http/pprof endpoints. docs/OBSERVABILITY.md catalogs the metrics.
+//
+// Two styles of instrument are used, on purpose:
+//
+//   - Push: the adaptive handler's controller metrics (via
+//     core.Telemetry) and the emission-latency histogram are updated on
+//     the runner's write path, which already holds q.mu.
+//   - Pull: everything that is a plain cumulative counter or a current
+//     value guarded by q.mu (tuples in, sheds, retries, panics, buffer
+//     depth, p95 latency, health) is exported as a CounterFunc/GaugeFunc
+//     whose callback locks the runner at scrape time. The hot path pays
+//     nothing for these.
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// healthStates is the full per-query health vocabulary, exported as a
+// one-hot gauge vector (aq_query_health{query,state} is 1 for the
+// current state, 0 otherwise) so dashboards can plot state timelines.
+var healthStates = []string{healthFeeding, healthDegraded, healthStalled, healthDraining, healthDone}
+
+// instrument registers the runner's per-query metrics. It must be called
+// before the runner starts feeding (it installs the push-side telemetry
+// on the adaptive handler).
+func (q *queryRunner) instrument(reg *obs.Registry) {
+	lbl := obs.L("query", q.name)
+
+	// Push side: controller/quality metrics from the adaptive handler,
+	// and the emission-latency histogram filled by absorb.
+	q.handler.Instrument(core.NewTelemetry(reg, q.name))
+	q.emitLatency = reg.Histogram("aq_emit_latency_ms",
+		"Window result emission latency in stream-time ms (emission position minus window end).",
+		obs.LatencyBuckets(), lbl)
+
+	// Pull side: cumulative counters owned by the runner.
+	counter := func(name, help string, read func() int64) {
+		reg.CounterFunc(name, help, func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(read())
+		}, lbl)
+	}
+	counter("aq_tuples_in_total", "Data tuples accepted into the query's pipeline.",
+		func() int64 { return q.tuplesIn })
+	counter("aq_windows_emitted_total", "Window results emitted.",
+		func() int64 { return q.emitted })
+	counter("aq_shed_tuples_total", "Data tuples dropped by the ingest overload policy.",
+		func() int64 { return q.shed })
+	counter("aq_source_retries_total", "Source retry attempts spent by the retry policy.",
+		func() int64 { return q.retries })
+	counter("aq_stage_panics_total", "Panics isolated while processing items.",
+		func() int64 { return q.panics })
+
+	// Pull side: current values.
+	gauge := func(name, help string, read func() float64) {
+		reg.GaugeFunc(name, help, func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return read()
+		}, lbl)
+	}
+	gauge("aq_buffer_k_ms", "Current slack K of the disorder buffer, in stream-time ms.",
+		func() float64 { return float64(q.handler.K()) })
+	gauge("aq_buffer_depth", "Tuples currently held back by the disorder buffer.",
+		func() float64 { return float64(q.handler.Len()) })
+	gauge("aq_ingest_queue_depth", "Occupancy of the bounded ingest queue.",
+		func() float64 { return float64(len(q.ingest)) })
+	gauge("aq_latency_p95_ms", "Streaming p95 of result emission latency (stream-time ms).",
+		func() float64 { return q.latency.Value() })
+	gauge("aq_quality_realized_err_adjusted",
+		"Realized relative-error EWMA with shed loss folded in (metrics.ShedAdjustedErr).",
+		func() float64 {
+			return metrics.ShedAdjustedErr(q.handler.Quality().RealizedErrEWMA, q.shed, q.tuplesIn)
+		})
+	for _, state := range healthStates {
+		state := state
+		reg.GaugeFunc("aq_query_health", "One-hot query health state (1 = query is in this state).",
+			func() float64 {
+				if q.healthState() == state {
+					return 1
+				}
+				return 0
+			}, lbl, obs.L("state", state))
+	}
+}
+
+// observeLatency publishes one result's emission latency; a no-op when
+// the server runs without -obs.
+func (q *queryRunner) observeLatency(ms float64) {
+	if q.emitLatency != nil {
+		q.emitLatency.Observe(ms)
+	}
+}
+
+// mountObs adds /metrics and the pprof endpoints to the mux. pprof is
+// mounted alongside metrics (both are -obs-gated): profiling the hot
+// aggregation path is exactly what the flag is for.
+func mountObs(mux *http.ServeMux, reg *obs.Registry) {
+	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -65,6 +66,10 @@ type queryRunner struct {
 	latency  *stats.P2 // streaming p95 of result latency
 	health   string
 	done     bool
+
+	// emitLatency is the push-side latency histogram; nil without -obs
+	// (see obs.go for the rest of the per-query instruments).
+	emitLatency *obs.Histogram
 }
 
 const resultRing = 256
@@ -192,6 +197,7 @@ func (q *queryRunner) absorb(res []window.Result) {
 	for _, r := range res {
 		q.emitted++
 		q.latency.Add(float64(r.Latency()))
+		q.observeLatency(float64(r.Latency()))
 		q.results = append(q.results, r)
 		if len(q.results) > resultRing {
 			q.results = q.results[len(q.results)-resultRing:]
@@ -312,6 +318,7 @@ type server struct {
 	mu       sync.RWMutex
 	queries  map[string]*queryRunner
 	draining atomic.Bool
+	reg      *obs.Registry // non-nil with -obs: serves /metrics and pprof
 }
 
 func newServer() *server {
@@ -419,6 +426,9 @@ func (s *server) handler() http.Handler {
 			http.Error(w, "unknown endpoint", http.StatusNotFound)
 		}
 	})
+	if s.reg != nil {
+		mountObs(mux, s.reg)
+	}
 	return mux
 }
 

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repository's docs use
+// inline links throughout.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks walks every *.md file in the repository and verifies that
+// each relative link resolves to an existing file or directory. Dead
+// relative links are how documentation rots silently; this is the
+// doc-link half of `make check` (the `doccheck` target).
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS metadata and test corpora.
+			if name := d.Name(); path != "." && (name == ".git" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found; is the test running at the repo root?")
+	}
+
+	var checked int
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip fenced code blocks: shell transcripts and sample output
+		// legitimately contain )-adjacent parens that are not links.
+		text := stripCodeFences(string(raw))
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; liveness is not this test's business
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			// Drop anchors and URL-escapes from relative targets.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if unescaped, err := url.PathUnescape(target); err == nil {
+				target = unescaped
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link (%s): %v", md, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links checked; the link regexp may have rotted")
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
+}
+
+func stripCodeFences(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}

@@ -6,6 +6,11 @@
 // source → disorder handler → window operator as independent goroutines
 // connected by channels; results reach the sink as they are emitted.
 //
+// Each pipeline is also instrumented (cq.Telemetry + core.Telemetry into
+// one obs.Registry), and the final Prometheus-format scrape is printed —
+// the same text cmd/aqserver serves at /metrics with -obs. See
+// docs/OBSERVABILITY.md for the metric catalog.
+//
 //	go run ./examples/dashboard
 package main
 
@@ -13,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -20,6 +26,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -55,6 +62,7 @@ func main() {
 	}
 
 	ctx := context.Background()
+	reg := obs.NewRegistry()
 	var wg sync.WaitGroup
 	for _, p := range panels {
 		p := p
@@ -62,10 +70,12 @@ func main() {
 		go func() {
 			defer wg.Done()
 			handler := core.NewAQKSlack(core.Config{Theta: p.theta, Spec: p.spec, Agg: p.agg})
+			handler.Instrument(core.NewTelemetry(reg, p.name))
 			rep, err := cq.New(p.load.Source()).
 				Handle(handler).
 				Window(p.spec, p.agg).
 				KeepInput().
+				Instrument(cq.NewTelemetry(reg, p.name)).
 				RunConcurrent(ctx, func(window.Result) { p.results.Add(1) })
 			if err != nil {
 				log.Fatalf("%s: %v", p.name, err)
@@ -87,4 +97,9 @@ func main() {
 	}
 	fmt.Println("\nall three queries ran as concurrent channel pipelines with independent")
 	fmt.Println("quality bounds; each handler adapted its own slack.")
+
+	fmt.Println("\n--- final /metrics scrape (Prometheus text format) ---")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

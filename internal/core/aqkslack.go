@@ -159,6 +159,9 @@ type AQKSlack struct {
 	trace     []KSample
 	qstats    QualityStats
 
+	telem      *Telemetry // optional live metrics; nil when uninstrumented
+	lastClamps int64      // PI clamp count already published to telem
+
 	scratchRes []window.Result
 }
 
@@ -305,6 +308,10 @@ func (a *AQKSlack) finalize() {
 			if emitVal, ok := a.emitted[idx]; ok {
 				a.realized.add(relErrEst(emitVal, fullVal))
 				a.qstats.FinalizedWins++
+				if a.telem != nil {
+					a.telem.Finalized.Inc()
+					a.telem.RealizedErr.Set(a.realized.v)
+				}
 			}
 			delete(a.full, idx)
 		}
@@ -380,4 +387,14 @@ func (a *AQKSlack) maybeAdapt() {
 	a.trace = append(a.trace, KSample{
 		At: clock, K: k, EstErr: estErr, RealizedErr: a.realized.v, PIFactor: factor,
 	})
+	if a.telem != nil {
+		a.telem.Adaptations.Inc()
+		a.telem.K.Set(float64(k))
+		a.telem.EstErr.Set(estErr)
+		a.telem.PIFactor.Set(factor)
+		if d := a.pi.Clamps() - a.lastClamps; d > 0 {
+			a.telem.PIClamps.Add(float64(d))
+			a.lastClamps = a.pi.Clamps()
+		}
+	}
 }

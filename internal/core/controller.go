@@ -19,6 +19,9 @@ type PI struct {
 	Kp, Ki               float64
 	MinFactor, MaxFactor float64
 	integral             float64
+	clamps               int64
+	lastFactor           float64
+	hasOutput            bool
 }
 
 // DefaultPI returns the gains used throughout the evaluation: a fairly
@@ -45,17 +48,35 @@ func (c *PI) Update(sig float64) float64 {
 		}
 	}
 	f := 1 + c.Kp*sig + c.Ki*c.integral
+	if f < c.MinFactor || f > c.MaxFactor {
+		c.clamps++
+	}
 	if f < c.MinFactor {
 		f = c.MinFactor
 	}
 	if f > c.MaxFactor {
 		f = c.MaxFactor
 	}
+	c.lastFactor, c.hasOutput = f, true
 	return f
 }
 
 // Reset clears the integral state.
 func (c *PI) Reset() { c.integral = 0 }
+
+// Clamps counts updates whose output hit the [MinFactor, MaxFactor]
+// clamp — a controller pinned at its clamp is either still converging or
+// mis-tuned, which makes this worth alerting on.
+func (c *PI) Clamps() int64 { return c.clamps }
+
+// LastFactor returns the most recent correction factor (1 before the
+// first update).
+func (c *PI) LastFactor() float64 {
+	if !c.hasOutput {
+		return 1
+	}
+	return c.lastFactor
+}
 
 // Integral exposes the accumulated term for ablation traces.
 func (c *PI) Integral() float64 { return c.integral }

@@ -149,6 +149,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					return
 				default:
 					shed++
+					q.telem.noteShed()
 					continue
 				}
 			} else {
@@ -158,6 +159,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					return
 				}
 			}
+			q.telem.noteSource(it.Heartbeat, len(items))
 		}
 	}()
 
@@ -179,6 +181,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 			for _, t := range rel {
 				select {
 				case rels <- released{tuple: t, now: now}:
+					q.telem.noteRelease(len(rels))
 				case <-ctx.Done():
 					return
 				}
@@ -196,6 +199,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		for _, t := range rel {
 			select {
 			case rels <- released{tuple: t, now: now}:
+				q.telem.noteRelease(len(rels))
 			case <-ctx.Done():
 				return
 			}
@@ -211,6 +215,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		defer close(done)
 		defer recoverStage("window")
 		var scratch []window.Result
+		postMark := false // results after the mark are flush-forced
 		for r := range rels {
 			if ctx.Err() != nil {
 				continue // cancelled: drain rels without invoking the sink
@@ -218,6 +223,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 			switch {
 			case r.mark:
 				rep.PreFlush = len(rep.Results)
+				postMark = true
 				continue
 			case r.flush:
 				scratch = op.Flush(r.now, scratch[:0])
@@ -226,6 +232,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 			}
 			for _, res := range scratch {
 				rep.Results = append(rep.Results, res)
+				q.telem.noteResult(res, postMark)
 				if sink != nil {
 					sink(res)
 				}

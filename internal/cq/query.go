@@ -40,6 +40,7 @@ type AggQuery struct {
 	retry     *resilience.Retry
 	overload  resilience.OverloadPolicy
 	ingestCap int
+	telem     *Telemetry
 
 	hasWindow bool
 }
@@ -115,6 +116,15 @@ func (q *AggQuery) Retry(r resilience.Retry) *AggQuery {
 // quality instead of being silently absorbed.
 func (q *AggQuery) Overload(policy resilience.OverloadPolicy, capacity int) *AggQuery {
 	q.overload, q.ingestCap = policy, capacity
+	return q
+}
+
+// Instrument attaches live telemetry (see NewTelemetry): RunConcurrent
+// updates the instruments as tuples flow, making stage throughput, queue
+// depth, sheds and emission latency observable while the query runs.
+// The synchronous Run executor ignores it.
+func (q *AggQuery) Instrument(t *Telemetry) *AggQuery {
+	q.telem = t
 	return q
 }
 

@@ -1,0 +1,101 @@
+package cq
+
+import (
+	"repro/internal/obs"
+	"repro/internal/window"
+)
+
+// Telemetry bundles the obs instruments RunConcurrent updates while the
+// pipeline runs: per-stage throughput counters, queue-depth gauges, shed
+// accounting and the emission-latency histogram. All methods tolerate a
+// nil receiver, so the engine's hot path pays a single pointer check
+// when telemetry is off.
+//
+// The synchronous Run executor is deliberately uninstrumented: it is the
+// deterministic harness path, and its AggReport already carries every
+// cumulative number post hoc.
+type Telemetry struct {
+	SourceIn   *obs.Counter // data tuples accepted by the source stage (post filter/map)
+	Heartbeats *obs.Counter // progress signals forwarded
+	Shed       *obs.Counter // data tuples dropped by the overload policy
+	Released   *obs.Counter // tuples released by the disorder stage
+	Results    *obs.Counter // window results emitted
+
+	IngestDepth  *obs.Gauge // occupancy of the source→disorder channel
+	ReleaseDepth *obs.Gauge // occupancy of the disorder→window channel
+
+	EmitLatency *obs.Histogram // result latency (stream-time ms)
+}
+
+// NewTelemetry registers the engine's pipeline metrics under the aq_
+// namespace, labelled with the query name, and returns the handle to
+// pass to AggQuery.Instrument. Registering the same query twice returns
+// instruments backed by the same series.
+func NewTelemetry(reg *obs.Registry, query string) *Telemetry {
+	q := obs.L("query", query)
+	stage := func(s string) []obs.Label { return []obs.Label{q, obs.L("stage", s)} }
+	return &Telemetry{
+		SourceIn: reg.Counter("aq_stage_tuples_total",
+			"Tuples passed downstream by each pipeline stage.", stage("source")...),
+		Released: reg.Counter("aq_stage_tuples_total",
+			"Tuples passed downstream by each pipeline stage.", stage("disorder")...),
+		Results: reg.Counter("aq_stage_tuples_total",
+			"Tuples passed downstream by each pipeline stage.", stage("window")...),
+		Heartbeats: reg.Counter("aq_heartbeats_total",
+			"Heartbeat (watermark) items forwarded through the pipeline.", q),
+		Shed: reg.Counter("aq_shed_tuples_total",
+			"Data tuples dropped by the ingest overload policy.", q),
+		IngestDepth: reg.Gauge("aq_queue_depth",
+			"Occupancy of a pipeline channel.", q, obs.L("queue", "ingest")),
+		ReleaseDepth: reg.Gauge("aq_queue_depth",
+			"Occupancy of a pipeline channel.", q, obs.L("queue", "release")),
+		EmitLatency: reg.Histogram("aq_emit_latency_ms",
+			"Window result emission latency in stream-time ms (emission position minus window end).",
+			obs.LatencyBuckets(), q),
+	}
+}
+
+// noteSource records one item accepted by the source stage and the
+// ingest queue's occupancy after the send.
+func (t *Telemetry) noteSource(heartbeat bool, depth int) {
+	if t == nil {
+		return
+	}
+	if heartbeat {
+		t.Heartbeats.Inc()
+	} else {
+		t.SourceIn.Inc()
+	}
+	t.IngestDepth.Set(float64(depth))
+}
+
+// noteShed records one tuple dropped by the overload policy.
+func (t *Telemetry) noteShed() {
+	if t == nil {
+		return
+	}
+	t.Shed.Inc()
+}
+
+// noteRelease records one tuple released by the disorder stage and the
+// release queue's occupancy after the send.
+func (t *Telemetry) noteRelease(depth int) {
+	if t == nil {
+		return
+	}
+	t.Released.Inc()
+	t.ReleaseDepth.Set(float64(depth))
+}
+
+// noteResult records one emitted window result. Latency is observed only
+// for progress-emitted results; flush-forced boundary emissions carry
+// artificial latencies and are excluded, mirroring AggReport.Latency.
+func (t *Telemetry) noteResult(r window.Result, flushed bool) {
+	if t == nil {
+		return
+	}
+	t.Results.Inc()
+	if !flushed {
+		t.EmitLatency.Observe(float64(r.Latency()))
+	}
+}

@@ -142,6 +142,7 @@ type Breaker struct {
 	openedAt time.Time
 	open     bool
 	probing  bool
+	trips    atomic.Int64 // closed→open transitions; atomic so monitors can read it live
 }
 
 // NewBreaker returns a breaker that opens after threshold consecutive
@@ -197,11 +198,19 @@ func (b *Breaker) Success() {
 func (b *Breaker) Failure() {
 	b.fails++
 	if b.probing || b.fails >= b.threshold {
+		if !b.open {
+			b.trips.Add(1)
+		}
 		b.open = true
 		b.probing = false
 		b.openedAt = b.now()
 	}
 }
+
+// Trips counts closed→open transitions. Unlike the rest of Breaker it is
+// safe to read from other goroutines, so monitoring can export it while
+// the owning stage keeps running.
+func (b *Breaker) Trips() int64 { return b.trips.Load() }
 
 // RetryingSource wraps a fallible source with a Retry policy: transient
 // NextErr failures are retried with backoff (and optionally gated by a
@@ -231,6 +240,16 @@ func NewRetryingSource(ctx context.Context, src stream.ErrSource, retry Retry) *
 // Retries returns the number of retry attempts performed so far. It is
 // safe to read from another goroutine.
 func (s *RetryingSource) Retries() int64 { return s.retries.Load() }
+
+// BreakerTrips returns how many times the source's circuit breaker has
+// opened (0 when the policy runs without a breaker). Safe to read from
+// another goroutine.
+func (s *RetryingSource) BreakerTrips() int64 {
+	if s.breaker == nil {
+		return 0
+	}
+	return s.breaker.Trips()
+}
 
 // NextErr implements stream.ErrSource. It returns an error only when the
 // retry budget is exhausted or the breaker refuses the call.
