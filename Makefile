@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench
 
 check: vet build race fuzz-short doccheck
 
@@ -36,6 +36,16 @@ fuzz-short:
 doccheck:
 	$(GO) vet ./internal/obs
 	$(GO) test . -run '^TestDocLinks$$'
+
+# PR3 performance gate: run the transport/sharding benchmarks and commit
+# the parsed numbers. BENCH_PR3.json records ns/op, allocs/op and
+# tuples/s per benchmark plus the host CPU count (shard scaling only
+# shows on multi-core hosts; see EXPERIMENTS.md R16).
+BENCHTIME ?= 5x
+bench:
+	$(GO) test -bench 'BenchmarkPipelineBatched|BenchmarkGroupedSharded' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

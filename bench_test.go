@@ -7,6 +7,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/buffer"
@@ -223,6 +224,73 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPipelineBatched measures the concurrent engine's transport
+// cost on a single-key stream (no sharding — the window stage is one
+// operator): batch=1 reproduces the old per-tuple channel hops, larger
+// batches amortize them. The acceptance bar is batch=64 at >=1.5x the
+// batch=1 throughput (BENCH_PR3.json).
+func BenchmarkPipelineBatched(b *testing.B) {
+	tuples := benchTuples(200000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	for _, batch := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := cq.New(stream.FromTuples(tuples)).
+					Handle(buffer.NewKSlack(2 * stream.Second)).
+					Window(spec, window.Sum()).
+					Batch(batch)
+				if _, err := q.RunConcurrent(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkGroupedSharded measures grouped (GROUP BY key) execution over
+// 256 keys: "sync" is the synchronous Run executor (the only grouped
+// executor before the sharded engine), shards=N the concurrent engine
+// with N window workers and batched transport. The acceptance bar is
+// shards=4 at >=3x the sync throughput (BENCH_PR3.json).
+func BenchmarkGroupedSharded(b *testing.B) {
+	cfg := gen.Sensor(200000, 12345)
+	cfg.NumKeys = 256
+	tuples := cfg.Arrivals()
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	build := func() *cq.AggQuery {
+		return cq.New(stream.FromTuples(tuples)).
+			Handle(buffer.NewKSlack(2 * stream.Second)).
+			Window(spec, window.Sum()).
+			GroupBy()
+	}
+	b.Run("sync", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := build().Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+	})
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := build().Shards(shards).Batch(128)
+				if _, err := q.RunConcurrent(context.Background(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
 }
 
 // BenchmarkGKSketchAdd measures the lateness sketch's insert cost.

@@ -34,6 +34,12 @@
 // /metrics, and mounts net/http/pprof under /debug/pprof/. See
 // docs/OBSERVABILITY.md for the metric catalog and a worked monitoring
 // walkthrough.
+//
+// Execution: one of the queries (user-sum-10s) is a GROUP BY query run by
+// the sharded concurrent engine — -shards picks its window-worker count
+// and -batch the pipeline transport batch size. The same -batch also sets
+// how many queued items the non-grouped workers apply per lock
+// acquisition.
 package main
 
 import (
@@ -59,6 +65,8 @@ type appConfig struct {
 	n         int // tuples per stream segment
 	rate      int // replay rate, tuples per wall-clock second
 	ingestCap int
+	shards    int // window shards for grouped queries
+	batch     int // pipeline/worker drain batch size
 	policy    resilience.OverloadPolicy
 	chaos     resilience.Chaos
 	chaosOn   bool
@@ -82,25 +90,44 @@ func newApp(cfg appConfig) *app {
 		obs.RegisterRuntimeMetrics(a.srv.reg)
 	}
 	specs := []struct {
-		name  string
-		theta float64
-		spec  window.Spec
-		agg   window.Factory
-		load  func(seed uint64) gen.Config
+		name    string
+		theta   float64
+		spec    window.Spec
+		agg     window.Factory
+		grouped bool
+		load    func(seed uint64) gen.Config
 	}{
 		{"temp-avg-10s", 0.005, window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
-			window.Avg(), func(seed uint64) gen.Config { return gen.Sensor(cfg.n, seed) }},
+			window.Avg(), false, func(seed uint64) gen.Config { return gen.Sensor(cfg.n, seed) }},
 		{"volume-sum-30s", 0.02, window.Spec{Size: 30 * stream.Second, Slide: 5 * stream.Second},
-			window.Sum(), func(seed uint64) gen.Config { return gen.SensorBursty(cfg.n, seed) }},
+			window.Sum(), false, func(seed uint64) gen.Config { return gen.SensorBursty(cfg.n, seed) }},
 		{"calls-p95-60s", 0.05, window.Spec{Size: 60 * stream.Second, Slide: 10 * stream.Second},
-			window.Quantile(0.95), func(seed uint64) gen.Config { return gen.CDR(cfg.n, seed) }},
+			window.Quantile(0.95), false, func(seed uint64) gen.Config { return gen.CDR(cfg.n, seed) }},
+		// GROUP BY demo: per-key sums over many keys, executed by the
+		// sharded concurrent engine with a fixed 200ms slack.
+		{"user-sum-10s", 0, window.Spec{Size: 10 * stream.Second, Slide: stream.Second},
+			window.Sum(), true, func(seed uint64) gen.Config {
+				c := gen.Sensor(cfg.n, seed)
+				c.NumKeys = 256
+				return c
+			}},
 	}
 	for _, sp := range specs {
-		q := newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
+		var q *queryRunner
+		if sp.grouped {
+			q = newKeyedQueryRunner(sp.name, sp.spec, sp.agg, 200*stream.Millisecond, cfg.shards, cfg.batch)
+		} else {
+			q = newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
+			q.batchSize = cfg.batch
+		}
 		if a.srv.reg != nil {
 			q.instrument(a.srv.reg)
 		}
-		q.start(cfg.ingestCap, cfg.policy)
+		if sp.grouped {
+			q.startGrouped(cfg.ingestCap, cfg.policy)
+		} else {
+			q.start(cfg.ingestCap, cfg.policy)
+		}
 		a.srv.add(q)
 		a.runners = append(a.runners, q)
 		a.loads = append(a.loads, sp.load)
@@ -141,6 +168,8 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault injection spec, e.g. seed=7,err=0.01,stall=0.001,stalldur=5ms,dup=0.005,spike=0.001 (empty = off)")
 	overload := flag.String("overload", "block", "ingest overload policy: block, shed-newest or shed-late")
 	ingestCap := flag.Int("ingest", 1024, "bounded ingest queue capacity per query")
+	shards := flag.Int("shards", 4, "window shards for grouped (GROUP BY) queries")
+	batch := flag.Int("batch", 64, "items applied per lock acquisition / pipeline transport batch")
 	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
 	flag.Parse()
 
@@ -152,7 +181,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap,
+	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
 		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -37,11 +38,23 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 	lbl := obs.L("query", q.name)
 
 	// Push side: controller/quality metrics from the adaptive handler,
-	// and the emission-latency histogram filled by absorb.
-	q.handler.Instrument(core.NewTelemetry(reg, q.name))
-	q.emitLatency = reg.Histogram("aq_emit_latency_ms",
-		"Window result emission latency in stream-time ms (emission position minus window end).",
-		obs.LatencyBuckets(), lbl)
+	// and the emission-latency histogram filled by absorb. Grouped runners
+	// have no adaptive handler — their push side is the cq engine's own
+	// telemetry (stage depths, batch sizes, per-shard tuple counters).
+	if q.handler != nil {
+		q.handler.Instrument(core.NewTelemetry(reg, q.name))
+		q.emitLatency = reg.Histogram("aq_emit_latency_ms",
+			"Window result emission latency in stream-time ms (emission position minus window end).",
+			obs.LatencyBuckets(), lbl)
+	} else {
+		// The engine telemetry already owns aq_shed_tuples_total and
+		// aq_emit_latency_ms for this query (the runner's shed path
+		// increments the shared counter in noteShed; registering the
+		// runner-side CounterFunc too would collide, and observing the
+		// histogram from absorb too would double-count). q.emitLatency
+		// stays nil; the runner's p95 gauge still sees every result.
+		q.telemetry = cq.NewTelemetry(reg, q.name)
+	}
 
 	// Pull side: cumulative counters owned by the runner.
 	counter := func(name, help string, read func() int64) {
@@ -55,8 +68,10 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		func() int64 { return q.tuplesIn })
 	counter("aq_windows_emitted_total", "Window results emitted.",
 		func() int64 { return q.emitted })
-	counter("aq_shed_tuples_total", "Data tuples dropped by the ingest overload policy.",
-		func() int64 { return q.shed })
+	if q.handler != nil {
+		counter("aq_shed_tuples_total", "Data tuples dropped by the ingest overload policy.",
+			func() int64 { return q.shed })
+	}
 	counter("aq_source_retries_total", "Source retry attempts spent by the retry policy.",
 		func() int64 { return q.retries })
 	counter("aq_stage_panics_total", "Panics isolated while processing items.",
@@ -71,9 +86,19 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		}, lbl)
 	}
 	gauge("aq_buffer_k_ms", "Current slack K of the disorder buffer, in stream-time ms.",
-		func() float64 { return float64(q.handler.K()) })
+		func() float64 {
+			if q.handler == nil {
+				return float64(q.fixedK)
+			}
+			return float64(q.handler.K())
+		})
 	gauge("aq_buffer_depth", "Tuples currently held back by the disorder buffer.",
-		func() float64 { return float64(q.handler.Len()) })
+		func() float64 {
+			if q.handler == nil {
+				return 0 // buffer lives inside the cq engine; see aq_queue_depth
+			}
+			return float64(q.handler.Len())
+		})
 	gauge("aq_ingest_queue_depth", "Occupancy of the bounded ingest queue.",
 		func() float64 { return float64(len(q.ingest)) })
 	gauge("aq_latency_p95_ms", "Streaming p95 of result emission latency (stream-time ms).",
@@ -81,6 +106,9 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 	gauge("aq_quality_realized_err_adjusted",
 		"Realized relative-error EWMA with shed loss folded in (metrics.ShedAdjustedErr).",
 		func() float64 {
+			if q.handler == nil {
+				return 0
+			}
 			return metrics.ShedAdjustedErr(q.handler.Quality().RealizedErrEWMA, q.shed, q.tuplesIn)
 		})
 	for _, state := range healthStates {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -11,7 +12,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -40,6 +43,19 @@ type queryRunner struct {
 	spec  window.Spec
 	agg   window.Factory
 
+	// Grouped runners (GROUP BY key) delegate their whole pipeline to
+	// cq.RunConcurrent with a fixed-slack handler, shardCount window
+	// workers and batched transport; handler/op above stay nil and the
+	// sinked keyed results flow into the same ring/latency state.
+	grouped    bool
+	shardCount int
+	fixedK     stream.Time
+	// batchSize is the worker drain batch: how many queued items one lock
+	// acquisition may apply (non-grouped), and the pipeline transport
+	// batch (grouped). 0 behaves like 1 / the engine default.
+	batchSize int
+	telemetry *cq.Telemetry // engine telemetry for grouped runners; nil without -obs
+
 	// Ingest queue; nil until start() is called (tests feed directly).
 	ingest     chan stream.Item
 	workerDone chan struct{}
@@ -52,20 +68,21 @@ type queryRunner struct {
 	// so the worker's panic isolation can be exercised.
 	panicOn func(stream.Item) bool
 
-	mu       sync.Mutex
-	handler  *core.AQKSlack
-	op       *window.Op
-	rel      []stream.Tuple
-	now      stream.Time
-	results  []window.Result // ring of recent results
-	emitted  int64
-	tuplesIn int64
-	shed     int64
-	retries  int64
-	panics   int64
-	latency  *stats.P2 // streaming p95 of result latency
-	health   string
-	done     bool
+	mu         sync.Mutex
+	handler    *core.AQKSlack
+	op         *window.Op
+	rel        []stream.Tuple
+	resScratch []window.Result // reusable per-process result scratch
+	now        stream.Time
+	results    []window.Result // ring of recent results
+	emitted    int64
+	tuplesIn   int64
+	shed       int64
+	retries    int64
+	panics     int64
+	latency    *stats.P2 // streaming p95 of result latency
+	health     string
+	done       bool
 
 	// emitLatency is the push-side latency histogram; nil without -obs
 	// (see obs.go for the rest of the per-query instruments).
@@ -87,22 +104,97 @@ func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Fac
 	}
 }
 
+// newKeyedQueryRunner builds a grouped (GROUP BY key) runner: per-key
+// windows with a fixed slack k, executed by the sharded concurrent engine
+// once startGrouped is called.
+func newKeyedQueryRunner(name string, spec window.Spec, agg window.Factory, k stream.Time, shards, batch int) *queryRunner {
+	return &queryRunner{
+		name:       name,
+		spec:       spec,
+		agg:        agg,
+		grouped:    true,
+		shardCount: shards,
+		batchSize:  batch,
+		fixedK:     k,
+		latency:    stats.NewP2(0.95),
+		health:     healthFeeding,
+	}
+}
+
 // start switches the runner to queued ingestion: feed enqueues onto a
 // bounded channel of the given capacity and a worker goroutine applies
-// the items, isolating panics per item. policy decides what a full queue
-// does to data tuples (heartbeats always block — they are progress
-// signals and cheap).
+// the items, isolating panics per item. The worker drains up to batchSize
+// queued items per lock acquisition, so a backlogged queue is absorbed in
+// batches instead of paying a lock round-trip per tuple. policy decides
+// what a full queue does to data tuples (heartbeats always block — they
+// are progress signals and cheap).
 func (q *queryRunner) start(capacity int, policy resilience.OverloadPolicy) {
 	if capacity <= 0 {
 		capacity = 1024
+	}
+	batch := q.batchSize
+	if batch <= 0 {
+		batch = 1
 	}
 	q.policy = policy
 	q.ingest = make(chan stream.Item, capacity)
 	q.workerDone = make(chan struct{})
 	go func() {
 		defer close(q.workerDone)
+		buf := make([]stream.Item, 0, batch)
 		for it := range q.ingest {
-			q.process(it)
+			buf = append(buf[:0], it)
+		drain:
+			for len(buf) < batch {
+				select {
+				case more, ok := <-q.ingest:
+					if !ok {
+						break drain
+					}
+					buf = append(buf, more)
+				default:
+					break drain
+				}
+			}
+			q.processBatch(buf)
+		}
+	}()
+}
+
+// startGrouped wires a grouped runner's ingest channel into the sharded
+// concurrent engine: the pipeline goroutine owns all operator state and
+// pushes merged keyed results back through absorbKeyed. finish closes the
+// channel, which flushes the pipeline's windows through the same sink.
+func (q *queryRunner) startGrouped(capacity int, policy resilience.OverloadPolicy) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	q.policy = policy
+	q.ingest = make(chan stream.Item, capacity)
+	q.workerDone = make(chan struct{})
+	src := stream.ErrFuncSource(func() (stream.Item, bool, error) {
+		it, ok := <-q.ingest
+		return it, ok, nil
+	})
+	query := cq.NewFallible(src).
+		Handle(buffer.NewKSlack(q.fixedK)).
+		Window(q.spec, q.agg).
+		GroupBy().
+		Shards(q.shardCount).
+		Batch(q.batchSize).
+		SinkKeyed(q.absorbKeyed).
+		DiscardReport() // the runner keeps its own ring; never ends, so the report must not grow
+	if q.telemetry != nil {
+		query.Instrument(q.telemetry)
+	}
+	go func() {
+		defer close(q.workerDone)
+		if _, err := query.RunConcurrent(context.Background(), nil); err != nil {
+			log.Printf("aqserver: %s: grouped pipeline failed: %v", q.name, err)
+			q.mu.Lock()
+			q.panics++
+			q.health = healthStalled
+			q.mu.Unlock()
 		}
 	}()
 }
@@ -128,32 +220,54 @@ func (q *queryRunner) feed(it stream.Item) {
 		case q.ingest <- it:
 		default:
 			q.noteShed()
+			return
 		}
-		return
+	} else {
+		q.ingest <- it
 	}
-	q.ingest <- it
+	// Grouped runners hand operator state to the engine, so the accepted-
+	// tuple counter is the feeder's job.
+	if q.grouped && !it.Heartbeat {
+		q.mu.Lock()
+		q.tuplesIn++
+		q.mu.Unlock()
+	}
 }
 
-// process applies one item to the operator state. A panic (a poisoned
-// tuple, an operator bug) is isolated to that item: it is counted, the
-// runner is marked degraded, and the worker keeps going.
+// process applies one item to the operator state (inline path, used by
+// tests that never call start).
 func (q *queryRunner) process(it stream.Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.processLocked(it)
+}
+
+// processBatch applies a run of queued items under one lock acquisition.
+func (q *queryRunner) processBatch(items []stream.Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, it := range items {
+		q.processLocked(it)
+	}
+}
+
+// processLocked applies one item to the operator state; q.mu must be
+// held. A panic (a poisoned tuple, an operator bug) is isolated to that
+// item: it is counted, the runner is marked degraded, and the caller
+// keeps going with the next item.
+func (q *queryRunner) processLocked(it stream.Item) {
 	defer func() {
 		if p := recover(); p != nil {
-			q.mu.Lock()
 			q.panics++
 			if q.health == healthFeeding {
 				q.health = healthDegraded
 			}
-			q.mu.Unlock()
 			log.Printf("aqserver: %s: panic isolated while processing %v: %v", q.name, it, p)
 		}
 	}()
 	if q.panicOn != nil && q.panicOn(it) {
 		panic("injected processing fault")
 	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
 	if !it.Heartbeat {
 		q.tuplesIn++
 		if it.Tuple.Arrival > q.now {
@@ -163,11 +277,11 @@ func (q *queryRunner) process(it stream.Item) {
 		q.now = it.Watermark
 	}
 	q.rel = q.handler.Insert(it, q.rel[:0])
-	var res []window.Result
+	q.resScratch = q.resScratch[:0]
 	for _, t := range q.rel {
-		res = q.op.Observe(t, q.now, res)
+		q.resScratch = q.op.Observe(t, q.now, q.resScratch)
 	}
-	q.absorb(res)
+	q.absorb(q.resScratch)
 }
 
 // finish drains the ingest queue, flushes the pipeline and marks the
@@ -181,13 +295,20 @@ func (q *queryRunner) finish() {
 		}
 		q.mu.Lock()
 		defer q.mu.Unlock()
-		q.rel = q.handler.Flush(q.rel[:0])
-		var res []window.Result
-		for _, t := range q.rel {
-			res = q.op.Observe(t, q.now, res)
+		if q.grouped {
+			// The engine flushed every window through absorbKeyed while the
+			// worker goroutine wound down; only the state flip is left.
+			q.done = true
+			q.health = healthDone
+			return
 		}
-		res = q.op.Flush(q.now, res)
-		q.absorb(res)
+		q.rel = q.handler.Flush(q.rel[:0])
+		q.resScratch = q.resScratch[:0]
+		for _, t := range q.rel {
+			q.resScratch = q.op.Observe(t, q.now, q.resScratch)
+		}
+		q.resScratch = q.op.Flush(q.now, q.resScratch)
+		q.absorb(q.resScratch)
 		q.done = true
 		q.health = healthDone
 	})
@@ -195,14 +316,28 @@ func (q *queryRunner) finish() {
 
 func (q *queryRunner) absorb(res []window.Result) {
 	for _, r := range res {
-		q.emitted++
-		q.latency.Add(float64(r.Latency()))
-		q.observeLatency(float64(r.Latency()))
-		q.results = append(q.results, r)
-		if len(q.results) > resultRing {
-			q.results = q.results[len(q.results)-resultRing:]
-		}
+		q.absorbOne(r)
 	}
+}
+
+// absorbOne folds one emitted result into the ring/latency state; q.mu
+// must be held.
+func (q *queryRunner) absorbOne(r window.Result) {
+	q.emitted++
+	q.latency.Add(float64(r.Latency()))
+	q.observeLatency(float64(r.Latency()))
+	q.results = append(q.results, r)
+	if len(q.results) > resultRing {
+		q.results = q.results[len(q.results)-resultRing:]
+	}
+}
+
+// absorbKeyed is the grouped pipeline's result sink, called from the
+// engine's window stage.
+func (q *queryRunner) absorbKeyed(kr window.KeyedResult) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.absorbOne(kr.Result)
 }
 
 func (q *queryRunner) noteShed() {
@@ -212,6 +347,11 @@ func (q *queryRunner) noteShed() {
 		q.health = healthDegraded
 	}
 	q.mu.Unlock()
+	// Grouped runners share the engine telemetry's shed counter (the
+	// engine itself never sheds here — its overload policy is unset).
+	if q.telemetry != nil {
+		q.telemetry.Shed.Inc()
+	}
 }
 
 // addRetries folds a feed segment's retry count into the runner total.
@@ -265,32 +405,43 @@ type status struct {
 	Retries        int64   `json:"sourceRetries"`
 	Panics         int64   `json:"stagePanics"`
 	Done           bool    `json:"done"`
+	Grouped        bool    `json:"grouped,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
 }
 
 func (q *queryRunner) status() status {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	qs := q.handler.Quality()
-	return status{
-		Name:           q.name,
-		Theta:          q.theta,
-		WindowSize:     q.spec.Size,
-		WindowSlide:    q.spec.Slide,
-		Aggregate:      q.agg.Name,
-		TuplesIn:       q.tuplesIn,
-		Windows:        q.emitted,
-		K:              q.handler.K(),
-		RealizedErr:    qs.RealizedErrEWMA,
-		RealizedErrAdj: metrics.ShedAdjustedErr(qs.RealizedErrEWMA, q.shed, q.tuplesIn),
-		EstErr:         qs.LastEstErr,
-		Adaptations:    qs.Adaptations,
-		LatencyP95:     q.latency.Value(),
-		Health:         q.health,
-		Shed:           q.shed,
-		Retries:        q.retries,
-		Panics:         q.panics,
-		Done:           q.done,
+	st := status{
+		Name:        q.name,
+		Theta:       q.theta,
+		WindowSize:  q.spec.Size,
+		WindowSlide: q.spec.Slide,
+		Aggregate:   q.agg.Name,
+		TuplesIn:    q.tuplesIn,
+		Windows:     q.emitted,
+		LatencyP95:  q.latency.Value(),
+		Health:      q.health,
+		Shed:        q.shed,
+		Retries:     q.retries,
+		Panics:      q.panics,
+		Done:        q.done,
+		Grouped:     q.grouped,
+		Shards:      q.shardCount,
 	}
+	if q.handler != nil {
+		qs := q.handler.Quality()
+		st.K = q.handler.K()
+		st.RealizedErr = qs.RealizedErrEWMA
+		st.RealizedErrAdj = metrics.ShedAdjustedErr(qs.RealizedErrEWMA, q.shed, q.tuplesIn)
+		st.EstErr = qs.LastEstErr
+		st.Adaptations = qs.Adaptations
+	} else {
+		// Grouped runners buffer with a fixed slack; quality fields stay
+		// zero because there is no adaptive estimator to read.
+		st.K = int64(q.fixedK)
+	}
+	return st
 }
 
 func (q *queryRunner) recentResults(n int) []window.Result {
@@ -307,6 +458,9 @@ func (q *queryRunner) recentResults(n int) []window.Result {
 func (q *queryRunner) trace() []core.KSample {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.handler == nil {
+		return nil
+	}
 	tr := q.handler.Trace()
 	out := make([]core.KSample, len(tr))
 	copy(out, tr)

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// committed-friendly JSON document on stdout: one entry per benchmark
+// with ns/op, B/op, allocs/op and any custom ReportMetric units (e.g.
+// tuples/s), plus the host header (goos, cpu, CPU count) so absolute
+// numbers can be interpreted later. `make bench` pipes the PR benchmark
+// suite through it to produce BENCH_PR3.json.
+//
+//	go test -bench 'Pipeline|Sharded' -benchmem -run '^$' . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's parsed measurement set.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	TuplesPerS  float64 `json:"tuples_per_sec,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// document is the full BENCH file shape.
+type document struct {
+	Goos       string                 `json:"goos,omitempty"`
+	Goarch     string                 `json:"goarch,omitempty"`
+	CPU        string                 `json:"cpu,omitempty"`
+	NumCPU     int                    `json:"num_cpu"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+func main() {
+	doc := document{NumCPU: runtime.NumCPU(), Benchmarks: map[string]benchResult{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if ok {
+				doc.Benchmarks[name] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkFoo/batch=64-8  10  7349707 ns/op  2721296 tuples/s  13507584 B/op  10709 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name; metrics
+// are (value, unit) token pairs after the iteration count.
+func parseBenchLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", benchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", benchResult{}, false
+	}
+	res := benchResult{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		case "tuples/s":
+			res.TuplesPerS = v
+		}
+	}
+	return name, res, true
+}

@@ -1,0 +1,138 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// batchWorkload builds a deterministic disordered item sequence with
+// interleaved heartbeats, using a small LCG so the test needs no imports.
+func batchWorkload(n int, seed uint64) []stream.Item {
+	rng := seed
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	items := make([]stream.Item, 0, n)
+	var ts stream.Time
+	for i := 0; i < n; i++ {
+		ts += stream.Time(next() % 40)
+		delay := stream.Time(next() % 300)
+		t := stream.Tuple{TS: ts - delay, Arrival: ts, Seq: uint64(i), Value: float64(i)}
+		items = append(items, stream.DataItem(t))
+		if next()%16 == 0 {
+			items = append(items, stream.HeartbeatItem(ts))
+		}
+	}
+	return items
+}
+
+// TestInsertBatchMatchesInsert verifies the BatchHandler contract for the
+// K-slack fast path and the generic adapter: released tuples, per-item
+// ends offsets and cumulative stats must match a per-item Insert loop.
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	for _, k := range []stream.Time{0, 1, 50, 200, 1 << 30} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			items := batchWorkload(500, seed)
+
+			ref := NewKSlack(k)
+			var want []stream.Tuple
+			wantEnds := make([]int, 0, len(items))
+			for _, it := range items {
+				want = ref.Insert(it, want)
+				wantEnds = append(wantEnds, len(want))
+			}
+			want = ref.Flush(want)
+
+			for _, batchSize := range []int{1, 7, 64, len(items)} {
+				h := NewKSlack(k)
+				var got []stream.Tuple
+				var ends []int
+				for lo := 0; lo < len(items); lo += batchSize {
+					hi := lo + batchSize
+					if hi > len(items) {
+						hi = len(items)
+					}
+					before := len(ends)
+					got, ends = InsertBatch(h, items[lo:hi], got, ends)
+					if len(ends)-before != hi-lo {
+						t.Fatalf("k=%d seed=%d batch=%d: got %d ends for %d items",
+							k, seed, batchSize, len(ends)-before, hi-lo)
+					}
+				}
+				got = h.Flush(got)
+				if len(got) != len(want) {
+					t.Fatalf("k=%d seed=%d batch=%d: released %d tuples, want %d",
+						k, seed, batchSize, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("k=%d seed=%d batch=%d: tuple %d = %+v, want %+v",
+							k, seed, batchSize, i, got[i], want[i])
+					}
+				}
+				if ends[len(ends)-1] != wantEnds[len(wantEnds)-1] {
+					t.Fatalf("k=%d seed=%d batch=%d: final end %d, want %d",
+						k, seed, batchSize, ends[len(ends)-1], wantEnds[len(wantEnds)-1])
+				}
+				if batchSize == 1 {
+					for i := range ends {
+						if ends[i] != wantEnds[i] {
+							t.Fatalf("k=%d seed=%d: ends[%d] = %d, want %d", k, seed, i, ends[i], wantEnds[i])
+						}
+					}
+				}
+				if h.Stats() != ref.Stats() {
+					t.Fatalf("k=%d seed=%d batch=%d: stats %+v, want %+v",
+						k, seed, batchSize, h.Stats(), ref.Stats())
+				}
+			}
+		}
+	}
+}
+
+// fallbackHandler hides KSlack's fast path (explicit forwarding methods,
+// no embedding, so InsertBatch is not promoted) to exercise the adapter's
+// per-item fallback through the same assertions.
+type fallbackHandler struct{ h *KSlack }
+
+func (f fallbackHandler) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	return f.h.Insert(it, out)
+}
+func (f fallbackHandler) Flush(out []stream.Tuple) []stream.Tuple { return f.h.Flush(out) }
+func (f fallbackHandler) K() stream.Time                          { return f.h.K() }
+func (f fallbackHandler) Len() int                                { return f.h.Len() }
+func (f fallbackHandler) Stats() Stats                            { return f.h.Stats() }
+func (f fallbackHandler) String() string                          { return f.h.String() }
+
+func TestInsertBatchFallback(t *testing.T) {
+	items := batchWorkload(300, 9)
+	ref := NewKSlack(100)
+	var want []stream.Tuple
+	for _, it := range items {
+		want = ref.Insert(it, want)
+	}
+
+	h := fallbackHandler{NewKSlack(100)}
+	if _, ok := interface{}(h).(BatchHandler); ok {
+		t.Fatal("fallbackHandler must not satisfy BatchHandler")
+	}
+	var got []stream.Tuple
+	var ends []int
+	got, ends = InsertBatch(h, items, got, ends)
+	if len(ends) != len(items) {
+		t.Fatalf("ends has %d entries, want %d", len(ends), len(items))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("released %d tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if h.Stats() != ref.Stats() {
+		t.Fatalf("stats %+v, want %+v", h.Stats(), ref.Stats())
+	}
+}

@@ -2,8 +2,8 @@ package cq
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/buffer"
@@ -21,8 +21,18 @@ type released struct {
 	mark  bool // boundary marker: results so far were progress-emitted
 }
 
-// defaultIngestCap is the historical bound on the source→disorder channel.
-const defaultIngestCap = 256
+const (
+	// defaultIngestCap is the historical bound (in tuples) on the
+	// source→disorder channel.
+	defaultIngestCap = 256
+	// defaultReleaseCap is the historical bound (in tuples) on the
+	// disorder→window channel.
+	defaultReleaseCap = 256
+	// defaultBatch is the transport batch size when Batch was not called.
+	defaultBatch = 64
+	// maxDefaultShards caps the automatic shard count for grouped queries.
+	maxDefaultShards = 8
+)
 
 // RunConcurrent executes the query as a pipeline of goroutines connected
 // by channels: source → transform → disorder handler → window operator.
@@ -30,34 +40,41 @@ const defaultIngestCap = 256
 // are emitted, and the final report is returned once the source is
 // exhausted or ctx is cancelled.
 //
-// The per-stage operators are single-writer, so no locking is needed; the
-// channels provide the happens-before edges. Output is identical to Run
-// for the same query (absent faults and shedding), because every stage
-// preserves arrival order.
+// Transport between stages is batched: stages exchange pooled slices of up
+// to Batch items, recycled through sync.Pools, so a saturated pipeline
+// pays one channel operation per batch instead of per tuple. Partial
+// batches ship as soon as the downstream queue is idle, and heartbeats,
+// the pre-flush mark and end-of-stream always force the batch out, so
+// batching changes neither emission order nor the PreFlush latency
+// accounting.
 //
-// Failure semantics: a panic in any stage is recovered, cancels the
-// pipeline, and is returned as an error naming the stage. A source error
-// is retried per the Retry policy (if configured) and aborts the pipeline
-// once the budget is exhausted or the circuit breaker opens. Under the
-// shedding overload policies a full ingest queue drops tuples instead of
-// blocking; drops are counted on the report and — because shed tuples are
-// still recorded as input — degrade the oracle-compared realized quality.
-// Cancellation never deadlocks, even when sink blocks forever: the drain
-// loop abandons the window stage rather than waiting on it (the stuck
-// sink's goroutine is leaked, which is the best Go can do about a callback
-// that never returns).
+// Grouped queries run the window stage on Shards parallel workers: the
+// disorder stage's output is hash-partitioned by group key, each worker
+// owns its partition's keyed window state, and per-shard results are
+// merged back into KeyedOp's canonical by-key order. Output — results,
+// order, stats — is identical to the synchronous Run for every shard and
+// batch setting (absent faults and shedding), because every stage
+// preserves arrival order and the merge is deterministic.
+//
+// Failure semantics: a panic in any stage (including a shard worker) is
+// recovered, cancels the pipeline, and is returned as an error naming the
+// stage. A source error is retried per the Retry policy (if configured)
+// and aborts the pipeline once the budget is exhausted or the circuit
+// breaker opens. Under the shedding overload policies a full ingest queue
+// drops tuples instead of blocking; drops are counted on the report and —
+// because shed tuples are still recorded as input — degrade the
+// oracle-compared realized quality. Cancellation never deadlocks, even
+// when sink blocks forever: the drain loop abandons the window stage
+// rather than waiting on it (the stuck sink's goroutine is leaked, which
+// is the best Go can do about a callback that never returns).
 func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) (*AggReport, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
-	}
-	if q.grouped {
-		return nil, errors.New("cq: grouped queries are only supported by the synchronous Run executor")
 	}
 	handler := q.handler
 	if handler == nil {
 		handler = buffer.Zero()
 	}
-	op := window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
 	rep := &AggReport{}
 
 	// Internal cancellation: stage failures cancel the whole pipeline so
@@ -88,13 +105,33 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		}
 	}
 
+	batchSize := q.batchSize
+	if batchSize <= 0 {
+		batchSize = defaultBatch
+	}
 	ingestCap := q.ingestCap
 	if ingestCap <= 0 {
 		ingestCap = defaultIngestCap
 	}
-	items := make(chan stream.Item, ingestCap)
-	rels := make(chan released, 256)
+	releaseCap := q.releaseCap
+	if releaseCap <= 0 {
+		releaseCap = defaultReleaseCap
+	}
+	// Capacities are configured in tuples; batches divide them, and a
+	// batch never exceeds the queue bound itself.
+	srcBatch := min(batchSize, ingestCap)
+	relBatch := min(batchSize, releaseCap)
+	items := make(chan []stream.Item, max(1, ingestCap/srcBatch))
+	rels := make(chan []released, max(1, releaseCap/relBatch))
 	done := make(chan struct{})
+
+	// Batch slices are recycled: each consumer returns the batches it
+	// finished, so a steady-state pipeline allocates no transport memory.
+	var itemPool, relPool sync.Pool
+	itemPool.New = func() any { return make([]stream.Item, 0, srcBatch) }
+	relPool.New = func() any { return make([]released, 0, relBatch) }
+	getItemBatch := func() []stream.Item { return itemPool.Get().([]stream.Item)[:0] }
+	getRelBatch := func() []released { return relPool.Get().([]released)[:0] }
 
 	src := q.source
 	var retrier *resilience.RetryingSource
@@ -104,13 +141,42 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	}
 
 	// Stage 1+2: source + transform. Owns the source, the shed counter and
-	// the report's input/disorder fields until it closes items.
+	// the report's input/disorder fields until it closes items. Disorder is
+	// measured inline (same definition as stream.MeasureDisorder, and the
+	// same code path as Run) so an unbounded stream is never retained.
 	var inputTuples []stream.Tuple
-	var disorderSrc []stream.Tuple
+	var disorder stream.DisorderStats
+	var sumLate, sumDelay float64
 	var shed int64
 	go func() {
 		defer close(items)
 		defer recoverStage("source")
+		cur := getItemBatch()
+		// ship sends the in-progress batch downstream; the non-blocking
+		// form is the overload probe, the blocking form applies
+		// backpressure. False means the pipeline was cancelled.
+		ship := func(block bool) bool {
+			if len(cur) == 0 {
+				return true
+			}
+			n := len(cur)
+			if block {
+				select {
+				case items <- cur:
+				case <-ctx.Done():
+					return false
+				}
+			} else {
+				select {
+				case items <- cur:
+				default:
+					return false
+				}
+			}
+			q.telem.noteIngestBatch(n)
+			cur = getItemBatch()
+			return true
+		}
 		var maxTS stream.Time
 		tsStarted := false
 		for {
@@ -120,6 +186,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				return
 			}
 			if !ok {
+				ship(true)
 				return
 			}
 			late := false
@@ -132,113 +199,237 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				if q.keepInput {
 					inputTuples = append(inputTuples, t)
 				}
-				disorderSrc = append(disorderSrc, stream.Tuple{TS: t.TS, Arrival: t.Arrival})
 				late = tsStarted && t.TS < maxTS
 				if !tsStarted || t.TS > maxTS {
 					maxTS, tsStarted = t.TS, true
 				}
+				if l := maxTS - t.TS; l > 0 {
+					disorder.OutOfOrder++
+					sumLate += float64(l)
+					if l > disorder.MaxLateness {
+						disorder.MaxLateness = l
+					}
+				}
+				d := t.Delay()
+				sumDelay += float64(d)
+				if d > disorder.MaxDelay {
+					disorder.MaxDelay = d
+				}
+				disorder.N++
 			}
-			// Overload policy: heartbeats are progress signals and are
-			// never shed; a full queue applies backpressure to them.
-			canShed := !it.Heartbeat &&
-				(q.overload == resilience.ShedNewest || (q.overload == resilience.ShedLate && late))
-			if canShed {
-				select {
-				case items <- it:
-				case <-ctx.Done():
-					return
-				default:
+			if len(cur) >= srcBatch && !ship(false) {
+				// Batch full and the queue refused it: overload. Heartbeats
+				// are progress signals and are never shed; a full queue
+				// applies backpressure to them (and to everything else
+				// under the blocking policy).
+				canShed := !it.Heartbeat &&
+					(q.overload == resilience.ShedNewest || (q.overload == resilience.ShedLate && late))
+				if canShed {
 					shed++
 					q.telem.noteShed()
 					continue
 				}
-			} else {
-				select {
-				case items <- it:
-				case <-ctx.Done():
+				if !ship(true) {
 					return
 				}
 			}
-			q.telem.noteSource(it.Heartbeat, len(items))
+			cur = append(cur, it)
+			q.telem.noteSource(it.Heartbeat, len(items)*srcBatch+len(cur))
+			// Heartbeats force the batch out so the disorder stage's clock
+			// keeps moving; an idle downstream queue means the consumer is
+			// starved, so holding a partial batch would only add latency.
+			if it.Heartbeat || len(items) == 0 {
+				if !ship(true) {
+					return
+				}
+			}
 		}
 	}()
 
-	// Stage 3: disorder handler. Owns handler state.
+	// Stage 3: disorder handler. Owns handler state. One scratch slice and
+	// one offsets slice are reused across every batch; InsertBatch lets
+	// batch-aware handlers (the K-slack heap) amortize per-call work while
+	// ends[i] preserves the per-item release attribution the arrival
+	// clock needs.
 	go func() {
 		defer close(rels)
 		defer recoverStage("disorder")
 		var now stream.Time
 		var rel []stream.Tuple
-		for it := range items {
-			if it.Heartbeat {
-				if it.Watermark > now {
-					now = it.Watermark
-				}
-			} else if it.Tuple.Arrival > now {
-				now = it.Tuple.Arrival
+		var ends []int
+		cur := getRelBatch()
+		ship := func() bool {
+			if len(cur) == 0 {
+				return true
 			}
-			rel = handler.Insert(it, rel[:0])
-			for _, t := range rel {
-				select {
-				case rels <- released{tuple: t, now: now}:
-					q.telem.noteRelease(len(rels))
-				case <-ctx.Done():
-					return
-				}
+			n := len(cur)
+			select {
+			case rels <- cur:
+			case <-ctx.Done():
+				return false
 			}
+			q.telem.noteReleaseBatch(n)
+			cur = getRelBatch()
+			return true
+		}
+		push := func(r released) bool {
+			cur = append(cur, r)
+			if !r.mark && !r.flush {
+				q.telem.noteRelease(len(rels)*relBatch + len(cur))
+			}
+			// Marks and flushes must reach the window stage immediately;
+			// otherwise ship on a full batch or an idle downstream queue.
+			if r.mark || r.flush || len(cur) >= relBatch || len(rels) == 0 {
+				return ship()
+			}
+			return true
+		}
+		for ib := range items {
+			rel, ends = buffer.InsertBatch(handler, ib, rel[:0], ends[:0])
+			start := 0
+			for i, it := range ib {
+				if it.Heartbeat {
+					if it.Watermark > now {
+						now = it.Watermark
+					}
+				} else if it.Tuple.Arrival > now {
+					now = it.Tuple.Arrival
+				}
+				for _, t := range rel[start:ends[i]] {
+					if !push(released{tuple: t, now: now}) {
+						return
+					}
+				}
+				start = ends[i]
+			}
+			itemPool.Put(ib[:0])
 		}
 		if failure() != nil {
 			return // upstream failed: don't emit a bogus final flush
 		}
-		select {
-		case rels <- released{now: now, mark: true}:
-		case <-ctx.Done():
+		if !push(released{now: now, mark: true}) {
 			return
 		}
 		rel = handler.Flush(rel[:0])
 		for _, t := range rel {
-			select {
-			case rels <- released{tuple: t, now: now}:
-				q.telem.noteRelease(len(rels))
-			case <-ctx.Done():
+			if !push(released{tuple: t, now: now}) {
 				return
 			}
 		}
-		select {
-		case rels <- released{now: now, flush: true}:
-		case <-ctx.Done():
-		}
+		push(released{now: now, flush: true})
 	}()
 
-	// Stage 4: window operator + sink. Owns op state and rep.Results.
-	go func() {
-		defer close(done)
-		defer recoverStage("window")
-		var scratch []window.Result
-		postMark := false // results after the mark are flush-forced
-		for r := range rels {
-			if ctx.Err() != nil {
-				continue // cancelled: drain rels without invoking the sink
+	// Stage 4: window operator(s) + sink. Owns operator state and the
+	// report's results.
+	var op *window.Op
+	var ks *keyedShards
+	if q.grouped {
+		nshards := q.shards
+		if nshards <= 0 {
+			nshards = min(runtime.GOMAXPROCS(0), maxDefaultShards)
+		}
+		ks = newKeyedShards(q, nshards, fail)
+		// The stage splits in two so the serial merge overlaps the parallel
+		// window work: the dispatcher feeds each batch to every shard and
+		// queues it for the merger, which gathers the per-shard chunks and
+		// interleaves them while the workers are already computing the next
+		// batch.
+		pending := make(chan []released, 2)
+		mergeDone := make(chan struct{})
+		go func() {
+			defer close(mergeDone)
+			defer recoverStage("window")
+			chunks := make([]shardChunk, ks.n)
+			postMark := false
+			var mergeBuf []window.KeyedResult // merge scratch for DiscardReport
+			for rb := range pending {
+				if ctx.Err() != nil || !ks.collect(ctx.Done(), chunks) {
+					// Cancelled (possibly mid-batch, with a worker still
+					// holding rb): keep draining pending without merging and
+					// let the abandoned batches go to the GC instead of the
+					// pool.
+					continue
+				}
+				for i, r := range rb {
+					if r.mark {
+						rep.PreFlush = len(rep.Keyed)
+						postMark = true
+						continue
+					}
+					var step []window.KeyedResult
+					if q.discardRep {
+						mergeBuf = mergeStep(chunks, i, mergeBuf[:0])
+						step = mergeBuf
+					} else {
+						base := len(rep.Keyed)
+						rep.Keyed = mergeStep(chunks, i, rep.Keyed)
+						step = rep.Keyed[base:]
+					}
+					for _, kr := range step {
+						q.telem.noteResult(kr.Result, postMark)
+						if q.keyedSink != nil {
+							q.keyedSink(kr)
+						}
+						if sink != nil {
+							sink(kr.Result)
+						}
+					}
+				}
+				relPool.Put(rb[:0])
 			}
-			switch {
-			case r.mark:
-				rep.PreFlush = len(rep.Results)
-				postMark = true
-				continue
-			case r.flush:
-				scratch = op.Flush(r.now, scratch[:0])
-			default:
-				scratch = op.Observe(r.tuple, r.now, scratch[:0])
-			}
-			for _, res := range scratch {
-				rep.Results = append(rep.Results, res)
-				q.telem.noteResult(res, postMark)
-				if sink != nil {
-					sink(res)
+		}()
+		go func() {
+			defer close(done)
+			defer recoverStage("window")
+			defer ks.close()
+			defer func() { <-mergeDone }()
+			defer close(pending)
+			for rb := range rels {
+				if ctx.Err() != nil || !ks.dispatch(ctx.Done(), rb) {
+					continue
+				}
+				select {
+				case pending <- rb:
+				case <-ctx.Done():
 				}
 			}
-		}
-	}()
+		}()
+	} else {
+		op = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		go func() {
+			defer close(done)
+			defer recoverStage("window")
+			var scratch []window.Result
+			postMark := false // results after the mark are flush-forced
+			for rb := range rels {
+				if ctx.Err() != nil {
+					continue // cancelled: drain rels without invoking the sink
+				}
+				for _, r := range rb {
+					switch {
+					case r.mark:
+						rep.PreFlush = len(rep.Results)
+						postMark = true
+						continue
+					case r.flush:
+						scratch = op.Flush(r.now, scratch[:0])
+					default:
+						scratch = op.Observe(r.tuple, r.now, scratch[:0])
+					}
+					for _, res := range scratch {
+						if !q.discardRep {
+							rep.Results = append(rep.Results, res)
+						}
+						q.telem.noteResult(res, postMark)
+						if sink != nil {
+							sink(res)
+						}
+					}
+				}
+				relPool.Put(rb[:0])
+			}
+		}()
+	}
 
 	select {
 	case <-done:
@@ -261,7 +452,11 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	}
 
 	rep.Input = inputTuples
-	rep.Disorder = stream.MeasureDisorder(disorderSrc)
+	if disorder.N > 0 {
+		disorder.MeanLateness = sumLate / float64(disorder.N)
+		disorder.MeanDelay = sumDelay / float64(disorder.N)
+	}
+	rep.Disorder = disorder
 	st := handler.Stats()
 	st.Shed = shed
 	rep.Handler = st
@@ -269,6 +464,10 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	if retrier != nil {
 		rep.Retries = retrier.Retries()
 	}
-	rep.Op = op.Stats()
+	if ks != nil {
+		rep.Op = ks.opStats()
+	} else {
+		rep.Op = op.Stats()
+	}
 	return rep, nil
 }

@@ -70,13 +70,29 @@ func TestGroupedRunWithAQHandler(t *testing.T) {
 	}
 }
 
-func TestGroupedRejectsConcurrent(t *testing.T) {
-	_, err := New(keyedWorkload(1000, 53).Source()).
+func TestGroupedRunConcurrent(t *testing.T) {
+	var sunk int
+	rep, err := New(keyedWorkload(5000, 53).Source()).
+		Handle(buffer.NewKSlack(200)).
 		Window(testSpec, window.Sum()).
 		GroupBy().
+		SinkKeyed(func(window.KeyedResult) { sunk++ }).
 		RunConcurrent(context.Background(), nil)
-	if err == nil {
-		t.Fatal("grouped RunConcurrent accepted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Keyed) == 0 || len(rep.Results) != 0 {
+		t.Fatalf("grouped query results misplaced: keyed=%d flat=%d", len(rep.Keyed), len(rep.Results))
+	}
+	if sunk != len(rep.Keyed) {
+		t.Fatalf("keyed sink saw %d results, report has %d", sunk, len(rep.Keyed))
+	}
+	keys := map[uint64]bool{}
+	for _, r := range rep.Keyed {
+		keys[r.Key] = true
+	}
+	if len(keys) != 16 {
+		t.Fatalf("results cover %d keys, want 16", len(keys))
 	}
 }
 

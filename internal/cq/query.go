@@ -37,10 +37,15 @@ type AggQuery struct {
 	keepInput bool
 	grouped   bool
 
-	retry     *resilience.Retry
-	overload  resilience.OverloadPolicy
-	ingestCap int
-	telem     *Telemetry
+	retry      *resilience.Retry
+	overload   resilience.OverloadPolicy
+	ingestCap  int
+	releaseCap int
+	batchSize  int
+	shards     int
+	keyedSink  func(window.KeyedResult)
+	discardRep bool
+	telem      *Telemetry
 
 	hasWindow bool
 }
@@ -108,14 +113,72 @@ func (q *AggQuery) Retry(r resilience.Retry) *AggQuery {
 	return q
 }
 
-// Overload bounds RunConcurrent's ingest queue at capacity items and sets
+// Overload bounds RunConcurrent's ingest queue at capacity tuples and sets
 // the policy applied when it is full. The default (capacity 0) keeps the
-// historical 256-item queue with blocking backpressure. Shed tuples are
+// historical 256-tuple bound with blocking backpressure. Shed tuples are
 // counted in AggReport.Shed (and Handler.Shed) and — because they are
 // still recorded as query input — degrade the oracle-compared realized
-// quality instead of being silently absorbed.
+// quality instead of being silently absorbed. With batched transport the
+// capacity still counts tuples: the engine sizes the batch channel as
+// capacity/batch, and a shedding decision is made per tuple once the
+// in-progress batch is full and the channel refuses it.
 func (q *AggQuery) Overload(policy resilience.OverloadPolicy, capacity int) *AggQuery {
 	q.overload, q.ingestCap = policy, capacity
+	return q
+}
+
+// ReleaseCap bounds the disorder→window channel of RunConcurrent at
+// capacity tuples (0 keeps the historical 256). Unlike the ingest queue it
+// never sheds — the disorder stage always applies blocking backpressure —
+// so the bound only controls how far the window stage may lag before the
+// handler stalls.
+func (q *AggQuery) ReleaseCap(capacity int) *AggQuery {
+	q.releaseCap = capacity
+	return q
+}
+
+// Batch sets the transport batch size of RunConcurrent: pipeline stages
+// exchange pooled batches of up to n items instead of single tuples,
+// trading per-tuple channel operations for one send per batch. Partial
+// batches are shipped as soon as the receiving stage is idle, and
+// heartbeats, stream marks and end-of-stream always force a flush, so
+// batching never parks a result behind the batch boundary and the
+// PreFlush-aware latency metrics keep their meaning. n <= 0 keeps the
+// default (64); n = 1 reproduces per-tuple transport.
+func (q *AggQuery) Batch(n int) *AggQuery {
+	q.batchSize = n
+	return q
+}
+
+// Shards sets how many parallel workers execute a grouped query's window
+// stage in RunConcurrent. Tuples are hash-partitioned by group key after
+// the disorder stage; each worker owns the keyed window state of its
+// partition, and per-shard results are merged back into the canonical
+// key order, so output is identical for every shard count (including the
+// synchronous Run). n <= 0 picks min(GOMAXPROCS, 8). Non-grouped queries
+// ignore the setting.
+func (q *AggQuery) Shards(n int) *AggQuery {
+	q.shards = n
+	return q
+}
+
+// SinkKeyed registers a per-result callback for grouped queries run with
+// RunConcurrent: it receives each merged window.KeyedResult (key included)
+// in emission order, from the window stage's goroutine, alongside any
+// plain sink which sees just the embedded Result.
+func (q *AggQuery) SinkKeyed(f func(window.KeyedResult)) *AggQuery {
+	q.keyedSink = f
+	return q
+}
+
+// DiscardReport makes RunConcurrent drop results from the returned
+// AggReport after delivering them to the sinks: Results/Keyed stay empty
+// and PreFlush stays zero, while Sink/SinkKeyed still see every result in
+// order. Long-running deployments need this — a continuous query that
+// never ends would otherwise accumulate its whole output in memory. The
+// synchronous Run executor ignores it (its report is the output).
+func (q *AggQuery) DiscardReport() *AggQuery {
+	q.discardRep = true
 	return q
 }
 
@@ -130,8 +193,9 @@ func (q *AggQuery) Instrument(t *Telemetry) *AggQuery {
 
 // GroupBy partitions the window aggregate by tuple key (GROUP BY key):
 // each key gets independent windows sharing one event-time clock. Results
-// land in AggReport.Keyed instead of AggReport.Results. Only the
-// synchronous Run executor supports grouped queries.
+// land in AggReport.Keyed instead of AggReport.Results. Run evaluates the
+// groups on one operator; RunConcurrent hash-shards them across Shards
+// workers with a deterministic merge, producing identical output.
 func (q *AggQuery) GroupBy() *AggQuery {
 	q.grouped = true
 	return q

@@ -1,0 +1,254 @@
+package cq
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/window"
+)
+
+// shardOf maps a group key to one of n shards. The murmur-style finalizer
+// scrambles low-entropy keys (sequential user ids, small enums) so the
+// partitions stay balanced.
+func shardOf(key uint64, n int) int {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return int(key % uint64(n))
+}
+
+// shardChunk is one shard's output for one released batch. ends[i] is
+// len(results) after the batch's i-th step, so the merger can slice the
+// chunk into per-step segments; each segment is already in key order
+// (KeyedOp's canonical emission order). pos is the merger's cursor,
+// valid only inside one mergeStep call.
+type shardChunk struct {
+	results []window.KeyedResult
+	ends    []int32
+	pos     int32
+}
+
+// seg returns the [lo, hi) bounds of the chunk's step-th segment.
+func (c *shardChunk) seg(step int) (int32, int32) {
+	lo := int32(0)
+	if step > 0 {
+		lo = c.ends[step-1]
+	}
+	return lo, c.ends[step]
+}
+
+// keyedShards executes a grouped query's window stage across n worker
+// goroutines. Each worker owns the window.KeyedOp for its hash-partition
+// of the key space and sees every released batch: tuples it owns go
+// through Observe, foreign tuples only advance its shared clock (Advance),
+// and marks/flushes are applied everywhere.
+//
+// Execution overlaps compute with merging: the engine dispatches batch
+// n+1 to the workers while the merger is still interleaving batch n's
+// chunks, so the (serial) merge does not stall the (parallel) window
+// work. Each worker rotates between two result buffers; the unbuffered
+// out channel makes the rotation safe — by the time the send of batch
+// n+1's chunk completes, the merger has received it, which it only does
+// after fully merging batch n, so the buffer batch n lived in is free to
+// reuse for batch n+2.
+type keyedShards struct {
+	n        int
+	in       []chan []released
+	out      []chan shardChunk
+	ops      []*window.KeyedOp
+	counters []*obs.Counter
+	wg       sync.WaitGroup
+	once     sync.Once
+}
+
+func newKeyedShards(q *AggQuery, n int, fail func(error)) *keyedShards {
+	ks := &keyedShards{
+		n:        n,
+		in:       make([]chan []released, n),
+		out:      make([]chan shardChunk, n),
+		ops:      make([]*window.KeyedOp, n),
+		counters: q.telem.shardCounters(n),
+	}
+	for s := 0; s < n; s++ {
+		ks.in[s] = make(chan []released, 1)
+		ks.out[s] = make(chan shardChunk) // unbuffered: see buffer-rotation note above
+		ks.ops[s] = window.NewKeyedOp(q.spec, q.agg, q.policy, q.refineFor)
+		ks.wg.Add(1)
+		go ks.worker(s, fail)
+	}
+	return ks
+}
+
+// shardBuf is one of a worker's two rotating result buffers.
+type shardBuf struct {
+	results []window.KeyedResult
+	ends    []int32
+}
+
+func (ks *keyedShards) worker(s int, fail func(error)) {
+	defer ks.wg.Done()
+	defer close(ks.out[s])
+	op := ks.ops[s]
+	var bufs [2]shardBuf
+	cur := 0
+	poisoned := false
+	runBatch := func(batch []released, b *shardBuf) {
+		defer func() {
+			if p := recover(); p != nil {
+				poisoned = true
+				fail(fmt.Errorf("cq: window shard %d panicked: %v", s, p))
+			}
+		}()
+		owned := 0
+		for _, r := range batch {
+			switch {
+			case r.mark:
+				// Stream mark: a bookkeeping step for the merger only.
+			case r.flush:
+				b.results = op.Flush(r.now, b.results)
+			case shardOf(r.tuple.Key, ks.n) == s:
+				b.results = op.Observe(r.tuple, r.now, b.results)
+				owned++
+			default:
+				b.results = op.Advance(r.tuple.TS, r.now, b.results)
+			}
+			b.ends = append(b.ends, int32(len(b.results)))
+		}
+		if owned > 0 && ks.counters != nil {
+			ks.counters[s].Add(float64(owned))
+		}
+	}
+	for batch := range ks.in[s] {
+		b := &bufs[cur]
+		cur ^= 1
+		b.results, b.ends = b.results[:0], b.ends[:0]
+		if !poisoned {
+			runBatch(batch, b)
+		}
+		// Pad after a panic so the merger can still index every step.
+		for len(b.ends) < len(batch) {
+			var last int32
+			if len(b.ends) > 0 {
+				last = b.ends[len(b.ends)-1]
+			}
+			b.ends = append(b.ends, last)
+		}
+		ks.out[s] <- shardChunk{results: b.results, ends: b.ends}
+	}
+}
+
+// dispatch hands one batch to every shard. It reports false when the
+// pipeline is cancelled mid-dispatch; close() later unblocks any worker
+// still holding a chunk.
+func (ks *keyedShards) dispatch(done <-chan struct{}, batch []released) bool {
+	for s := range ks.in {
+		select {
+		case ks.in[s] <- batch:
+		case <-done:
+			return false
+		}
+	}
+	return true
+}
+
+// collect gathers one dispatched batch's chunk from every shard. The
+// chunks' buffers are owned by the workers and stay valid only until the
+// batch after the next one is dispatched (two-buffer rotation).
+func (ks *keyedShards) collect(done <-chan struct{}, chunks []shardChunk) bool {
+	for s := range ks.out {
+		select {
+		case c, ok := <-ks.out[s]:
+			if !ok {
+				return false
+			}
+			chunks[s] = c
+		case <-done:
+			return false
+		}
+	}
+	return true
+}
+
+// close shuts the workers down: input channels are closed, any chunk still
+// in flight is drained (a worker may be blocked handing over the output of
+// a batch the merger abandoned), and the workers are joined. After close
+// the per-shard operators are quiescent and opStats may be read.
+func (ks *keyedShards) close() {
+	ks.once.Do(func() {
+		for _, c := range ks.in {
+			close(c)
+		}
+		for _, c := range ks.out {
+			for range c {
+			}
+		}
+		ks.wg.Wait()
+	})
+}
+
+// opStats sums the per-shard operator counters. Only valid after close.
+func (ks *keyedShards) opStats() window.OpStats {
+	var sum window.OpStats
+	for _, op := range ks.ops {
+		st := op.Stats()
+		sum.TuplesIn += st.TuplesIn
+		sum.LateTuples += st.LateTuples
+		sum.LateDrops += st.LateDrops
+		sum.LateRefined += st.LateRefined
+		sum.Emitted += st.Emitted
+		sum.Refinements += st.Refinements
+		sum.EmptyEmitted += st.EmptyEmitted
+	}
+	return sum
+}
+
+// mergeStep appends step i's per-shard segments to out in the canonical
+// by-key order. The shards partition the key space and each segment is
+// already key-sorted, so a k-way merge of the segments — taking each
+// key's contiguous run whole, which keeps a key's operator-emission
+// order — reproduces exactly what a single KeyedOp would have emitted
+// for this step. The shard count is small, so the merge scans the heads
+// linearly instead of maintaining a heap.
+func mergeStep(chunks []shardChunk, step int, out []window.KeyedResult) []window.KeyedResult {
+	nonEmpty, last := 0, -1
+	for s := range chunks {
+		lo, hi := chunks[s].seg(step)
+		chunks[s].pos = lo
+		if hi > lo {
+			nonEmpty++
+			last = s
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return out
+	case 1:
+		lo, hi := chunks[last].seg(step)
+		return append(out, chunks[last].results[lo:hi]...)
+	}
+	for {
+		minShard := -1
+		var minKey uint64
+		for s := range chunks {
+			_, hi := chunks[s].seg(step)
+			if chunks[s].pos >= hi {
+				continue
+			}
+			if k := chunks[s].results[chunks[s].pos].Key; minShard < 0 || k < minKey {
+				minShard, minKey = s, k
+			}
+		}
+		if minShard < 0 {
+			return out
+		}
+		c := &chunks[minShard]
+		_, hi := c.seg(step)
+		p := c.pos
+		for p < hi && c.results[p].Key == minKey {
+			p++
+		}
+		out = append(out, c.results[c.pos:p]...)
+		c.pos = p
+	}
+}

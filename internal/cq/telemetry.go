@@ -1,6 +1,8 @@
 package cq
 
 import (
+	"strconv"
+
 	"repro/internal/obs"
 	"repro/internal/window"
 )
@@ -21,10 +23,18 @@ type Telemetry struct {
 	Released   *obs.Counter // tuples released by the disorder stage
 	Results    *obs.Counter // window results emitted
 
-	IngestDepth  *obs.Gauge // occupancy of the source→disorder channel
-	ReleaseDepth *obs.Gauge // occupancy of the disorder→window channel
+	IngestDepth  *obs.Gauge // occupancy of the source→disorder channel (tuples, approximate)
+	ReleaseDepth *obs.Gauge // occupancy of the disorder→window channel (tuples, approximate)
+
+	IngestBatch  *obs.Histogram // sizes of batches shipped source→disorder
+	ReleaseBatch *obs.Histogram // sizes of batches shipped disorder→window
 
 	EmitLatency *obs.Histogram // result latency (stream-time ms)
+
+	// reg and query are retained so the engine can register per-shard
+	// counters once the shard count is known (at RunConcurrent time).
+	reg   *obs.Registry
+	query obs.Label
 }
 
 // NewTelemetry registers the engine's pipeline metrics under the aq_
@@ -49,10 +59,51 @@ func NewTelemetry(reg *obs.Registry, query string) *Telemetry {
 			"Occupancy of a pipeline channel.", q, obs.L("queue", "ingest")),
 		ReleaseDepth: reg.Gauge("aq_queue_depth",
 			"Occupancy of a pipeline channel.", q, obs.L("queue", "release")),
+		IngestBatch: reg.Histogram("aq_batch_size_tuples",
+			"Sizes of the batches shipped between pipeline stages.",
+			obs.ExponentialBuckets(1, 2, 11), q, obs.L("queue", "ingest")),
+		ReleaseBatch: reg.Histogram("aq_batch_size_tuples",
+			"Sizes of the batches shipped between pipeline stages.",
+			obs.ExponentialBuckets(1, 2, 11), q, obs.L("queue", "release")),
 		EmitLatency: reg.Histogram("aq_emit_latency_ms",
 			"Window result emission latency in stream-time ms (emission position minus window end).",
 			obs.LatencyBuckets(), q),
+		reg:   reg,
+		query: q,
 	}
+}
+
+// shardCounters registers (or fetches) one aq_shard_tuples_total counter
+// per shard of a grouped query's window stage.
+func (t *Telemetry) shardCounters(n int) []*obs.Counter {
+	if t == nil || t.reg == nil {
+		return nil
+	}
+	out := make([]*obs.Counter, n)
+	for i := range out {
+		out[i] = t.reg.Counter("aq_shard_tuples_total",
+			"Data tuples owned and aggregated by each grouped-executor shard.",
+			t.query, obs.L("shard", strconv.Itoa(i)))
+	}
+	return out
+}
+
+// noteIngestBatch records the size of one batch shipped by the source
+// stage.
+func (t *Telemetry) noteIngestBatch(n int) {
+	if t == nil {
+		return
+	}
+	t.IngestBatch.Observe(float64(n))
+}
+
+// noteReleaseBatch records the size of one batch shipped by the disorder
+// stage.
+func (t *Telemetry) noteReleaseBatch(n int) {
+	if t == nil {
+		return
+	}
+	t.ReleaseBatch.Observe(float64(n))
 }
 
 // noteSource records one item accepted by the source stage and the

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/buffer"
@@ -311,4 +313,106 @@ func R11(s Scale) []Table {
 			Pct(quality.MeanRelErr), PctC(quality.Compliance), Ms(rep.Latency(5).Mean))
 	}
 	return []Table{t}
+}
+
+// R16 validates the batched-transport + sharded-execution engine (the
+// PR3 tentpole): quality and compliance must be invariant across batch
+// sizes (R16a) and shard counts (R16b), and the sharded executor's
+// output must be byte-identical to the synchronous grouped Run. Absolute
+// throughput depends on the host's core count — on a single-core host
+// sharding shows bounded overhead, not speedup; BENCH_PR3.json records
+// the same sweep with host metadata.
+func R16(s Scale) []Table {
+	n := s.N(200000)
+	theta := 0.01
+	agg := window.Sum()
+
+	// R16a: transport batch sweep on a single-key adaptive query. The
+	// engine's output contract makes every row identical except wall time.
+	a := Table{
+		ID:    "R16a",
+		Title: fmt.Sprintf("batched transport sweep at theta=%s (RunConcurrent, n=%d)", Pct(theta), n),
+		Cols:  []string{"batch", "tuples/s", "windows", "meanErr", "p95Err", "compliance", "meanLat"},
+		Notes: []string{
+			"expected shape: quality columns identical across batch sizes (batching changes transport, not semantics); throughput rises with batch as channel ops amortize",
+		},
+	}
+	for _, batch := range []int{1, 64, 256} {
+		c := gen.Sensor(n, 16)
+		tuples := c.Arrivals()
+		h := core.NewAQKSlack(core.Config{Theta: theta, Spec: stdSpec, Agg: agg})
+		start := time.Now()
+		rep, err := cq.New(stream.FromTuples(tuples)).
+			Handle(buffer.Handler(h)).
+			Window(stdSpec, agg).
+			KeepInput().
+			Batch(batch).
+			RunConcurrent(context.Background(), nil)
+		if err != nil {
+			panic(err)
+		}
+		wall := time.Since(start).Seconds()
+		quality := rep.Quality(stdSpec, agg, metrics.CompareOpts{
+			Theta: theta, SkipWarmup: warmupWindows, SkipEmptyOracle: true,
+		})
+		a.AddRow(I(int64(batch)), F(float64(n)/wall, 0), I(int64(len(rep.Results))),
+			Pct(quality.MeanRelErr), Pct(quality.P95RelErr), PctC(quality.Compliance),
+			Ms(rep.Latency(warmupWindows).Mean))
+	}
+
+	// R16b: grouped shard sweep against the synchronous executor. The
+	// identical column asserts the byte-identical output contract that the
+	// deterministic merge guarantees.
+	b := Table{
+		ID:    "R16b",
+		Title: fmt.Sprintf("sharded grouped execution at theta=%s (256 keys, n=%d, host cores=%d)", Pct(theta), n, runtime.NumCPU()),
+		Cols:  []string{"executor", "tuples/s", "keyedWindows", "meanErr", "compliance", "identical"},
+		Notes: []string{
+			"identical = keyed result sequence equals the synchronous Run byte for byte (the sharded merge determinism contract)",
+			"expected shape: quality/compliance identical everywhere; shards>1 speeds up only on multi-core hosts (single-core hosts see the coordination overhead instead)",
+		},
+	}
+	c := gen.Sensor(n, 17)
+	c.NumKeys = 256
+	tuples := c.Arrivals()
+	build := func() *cq.AggQuery {
+		return cq.New(stream.FromTuples(tuples)).
+			Handle(buffer.NewKSlack(2 * stream.Second)).
+			Window(stdSpec, agg).
+			GroupBy().KeepInput()
+	}
+	addRow := func(name string, rep *cq.AggReport, wall float64, baseline []window.KeyedResult) {
+		identical := "-"
+		if baseline != nil {
+			same := len(rep.Keyed) == len(baseline)
+			for i := 0; same && i < len(baseline); i++ {
+				same = rep.Keyed[i] == baseline[i]
+			}
+			if same {
+				identical = "yes"
+			} else {
+				identical = "NO"
+			}
+		}
+		quality := rep.KeyedQuality(stdSpec, agg, metrics.CompareOpts{
+			Theta: theta, SkipWarmup: 5, SkipEmptyOracle: true,
+		})
+		b.AddRow(name, F(float64(n)/wall, 0), I(int64(len(rep.Keyed))),
+			Pct(quality.MeanRelErr), PctC(quality.Compliance), identical)
+	}
+	start := time.Now()
+	syncRep, err := build().Run()
+	if err != nil {
+		panic(err)
+	}
+	addRow("sync", syncRep, time.Since(start).Seconds(), nil)
+	for _, shards := range []int{1, 2, 4} {
+		start := time.Now()
+		rep, err := build().Shards(shards).Batch(128).RunConcurrent(context.Background(), nil)
+		if err != nil {
+			panic(err)
+		}
+		addRow(fmt.Sprintf("shards=%d", shards), rep, time.Since(start).Seconds(), syncRep.Keyed)
+	}
+	return []Table{a, b}
 }

@@ -21,15 +21,24 @@ type KeyedResult struct {
 // Keys emit results only for windows in which they received at least one
 // tuple plus the empty gaps between their own occupied windows (the same
 // contiguity rule as Op, applied per key).
+//
+// Emission order is canonical: within one input step (one Observe, Advance
+// or Flush call) results are ordered by key, ascending, with a key's own
+// results keeping their operator-emission order. That determinism is what
+// lets the sharded concurrent executor in internal/cq merge per-shard
+// output back into the exact byte sequence the single-operator path emits.
 type KeyedOp struct {
 	spec      Spec
 	agg       Factory
 	policy    LatePolicy
 	refineFor stream.Time
 	ops       map[uint64]*Op
+	keys      []uint64 // every key with state; sorted unless keysDirty
+	keysDirty bool
 	clock     stream.Time
 	started   bool
 	scratch   []Result
+	blockBuf  []KeyedResult // rotation scratch for mergeOwnBlock
 }
 
 // NewKeyedOp returns a per-key window operator. It panics on an invalid
@@ -50,62 +59,102 @@ func (o *KeyedOp) Spec() Spec { return o.spec }
 // Keys returns the number of keys with operator state.
 func (o *KeyedOp) Keys() int { return len(o.ops) }
 
-// Observe feeds one tuple, appending emitted per-key results to out. The
-// shared clock advance also closes windows of other keys.
+// Observe feeds one tuple, appending emitted per-key results to out. A
+// clock advance that closes a window (crosses a slide boundary) also
+// closes that window for every other key; advances within the same slide
+// touch only the tuple's own key, since no other key could emit anything.
 func (o *KeyedOp) Observe(t stream.Tuple, now stream.Time, out []KeyedResult) []KeyedResult {
 	op, ok := o.ops[t.Key]
 	if !ok {
 		op = NewOp(o.spec, o.agg, o.policy, o.refineFor)
 		o.ops[t.Key] = op
+		o.keys = append(o.keys, t.Key)
+		o.keysDirty = true
 	}
+	base := len(out)
 	o.scratch = op.Observe(t, now, o.scratch[:0])
-	out = o.appendKeyed(t.Key, out)
+	out = o.appendKeyedFrom(t.Key, out)
 	if !o.started || t.TS > o.clock {
+		crossed := !o.started || o.spec.LastClosed(t.TS) != o.spec.LastClosed(o.clock)
+		ownLen := len(out) - base
 		o.clock = t.TS
 		o.started = true
-		out = o.advanceOthers(t.Key, now, out)
+		if crossed {
+			out = o.advanceOthers(t.Key, now, out)
+			// The tuple's own results were appended first; rotate the block
+			// into the already key-sorted advanceOthers segment to restore
+			// the canonical by-key order for this step.
+			o.mergeOwnBlock(out[base:], ownLen)
+		}
 	}
 	return out
 }
 
-// Advance moves the shared clock (heartbeat path) and closes windows for
-// every key.
+// Advance moves the shared clock (heartbeat path) and, when the advance
+// crosses a slide boundary, closes the newly completed windows for every
+// key.
 func (o *KeyedOp) Advance(eventTS, now stream.Time, out []KeyedResult) []KeyedResult {
 	if o.started && eventTS <= o.clock {
 		return out
 	}
+	crossed := !o.started || o.spec.LastClosed(eventTS) != o.spec.LastClosed(o.clock)
 	o.clock = eventTS
 	o.started = true
+	if !crossed {
+		return out
+	}
 	return o.advanceOthers(^uint64(0), now, out) // no key excluded
 }
 
+// sortedKeys returns every key with state in ascending order, re-sorting
+// lazily after new keys appear.
+func (o *KeyedOp) sortedKeys() []uint64 {
+	if o.keysDirty {
+		sort.Slice(o.keys, func(i, j int) bool { return o.keys[i] < o.keys[j] })
+		o.keysDirty = false
+	}
+	return o.keys
+}
+
 func (o *KeyedOp) advanceOthers(except uint64, now stream.Time, out []KeyedResult) []KeyedResult {
-	for key, op := range o.ops {
+	for _, key := range o.sortedKeys() {
 		if key == except {
 			continue
 		}
-		o.scratch = op.Advance(o.clock, now, o.scratch[:0])
+		o.scratch = o.ops[key].Advance(o.clock, now, o.scratch[:0])
 		out = o.appendKeyedFrom(key, out)
 	}
 	return out
 }
 
-// Flush emits every open window of every key.
+// Flush emits every open window of every key, in key order.
 func (o *KeyedOp) Flush(now stream.Time, out []KeyedResult) []KeyedResult {
-	keys := make([]uint64, 0, len(o.ops))
-	for key := range o.ops {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, key := range keys {
+	for _, key := range o.sortedKeys() {
 		o.scratch = o.ops[key].Flush(now, o.scratch[:0])
 		out = o.appendKeyedFrom(key, out)
 	}
 	return out
 }
 
-func (o *KeyedOp) appendKeyed(key uint64, out []KeyedResult) []KeyedResult {
-	return o.appendKeyedFrom(key, out)
+// mergeOwnBlock restores by-key order for one step's segment where the
+// own-key block seg[:k] (all one key) precedes the key-sorted remainder
+// produced by advanceOthers. It rotates the block past the remainder's
+// smaller-keyed prefix — O(len) moves instead of a stable sort, and the
+// block keeps its operator-emission order.
+func (o *KeyedOp) mergeOwnBlock(seg []KeyedResult, k int) {
+	if k == 0 || k == len(seg) {
+		return
+	}
+	key := seg[0].Key
+	rest := seg[k:]
+	// advanceOthers excluded the own key, so every rest key differs.
+	p := sort.Search(len(rest), func(i int) bool { return rest[i].Key > key })
+	if p == 0 {
+		return
+	}
+	o.blockBuf = append(o.blockBuf[:0], seg[:k]...)
+	copy(seg, rest[:p])
+	copy(seg[p:], o.blockBuf)
 }
 
 func (o *KeyedOp) appendKeyedFrom(key uint64, out []KeyedResult) []KeyedResult {
