@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench dst cover
 
-check: vet build race fuzz-short doccheck
+check: vet build race fuzz-short dst doccheck
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,36 @@ fuzz-short:
 	$(GO) test ./internal/buffer -run '^$$' -fuzz '^FuzzPercentileHandler$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzGKQuantile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzP2Bounds$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+
+# Deterministic simulation sweep under the race detector: every seed runs
+# the full differential oracle (sync/concurrent equivalence, quality
+# contract, metamorphic relations) plus the committed regression
+# transcripts. DST_SEEDS widens the matrix (nightly runs use hundreds);
+# the default keeps `make check` fast.
+DST_SEEDS ?= 12
+dst:
+	DST_SEEDS=$(DST_SEEDS) $(GO) test ./internal/dst -race -count=1
+
+# Coverage gate: per-package breakdown plus a repo-level floor. The floor
+# and a committed snapshot live in COVERAGE.md; raise the baseline when
+# coverage genuinely improves, never lower it to make a change pass.
+COVER_FLOOR ?= 70
+cover:
+	$(GO) test ./... -count=1 -coverprofile=cover.out -covermode=atomic > /dev/null
+	@$(GO) tool cover -func=cover.out | awk '\
+		{ pkg = $$1; sub(/\/[^\/]+:.*$$/, "", pkg); gsub(/%/, "", $$NF) } \
+		$$1 != "total:" { sum[pkg] += $$NF; n[pkg]++ } \
+		$$1 == "total:" { total = $$NF } \
+		END { \
+			for (p in sum) printf "%-40s %6.1f%%\n", p, sum[p] / n[p] | "sort"; \
+			close("sort"); \
+			printf "%-40s %6.1f%% (floor $(COVER_FLOOR)%%)\n", "total (by statement)", total; \
+			if (total + 0 < $(COVER_FLOOR)) { \
+				printf "FAIL: total coverage %.1f%% below the $(COVER_FLOOR)%% floor (see COVERAGE.md)\n", total; \
+				exit 1; \
+			} \
+		}'
 
 # Documentation gate: `go vet`-clean telemetry package (vet ./... above
 # already covers it; this pins it even if the wide vet target changes)

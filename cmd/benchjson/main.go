@@ -33,11 +33,19 @@ type document struct {
 	Goarch     string                 `json:"goarch,omitempty"`
 	CPU        string                 `json:"cpu,omitempty"`
 	NumCPU     int                    `json:"num_cpu"`
+	// Gomaxprocs is the scheduler's parallelism bound at record time. It
+	// can differ from num_cpu (cgroup limits, GOMAXPROCS overrides), and
+	// it — not the physical count — is what bounds shard scaling.
+	Gomaxprocs int                    `json:"gomaxprocs"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
 
 func main() {
-	doc := document{NumCPU: runtime.NumCPU(), Benchmarks: map[string]benchResult{}}
+	doc := document{
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{},
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every program under examples/ with
+// a hard deadline. The examples are the repository's executable
+// documentation — quickstart is pasted into the README — so "compiles
+// and runs to completion with output" is a contract, not a nicety.
+// The examples are synthetic and bounded by construction; a hang or a
+// non-zero exit here means a README code path broke.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build+run takes seconds; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, exe)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example did not finish within the deadline; output so far:\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

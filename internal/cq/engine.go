@@ -136,7 +136,11 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	src := q.source
 	var retrier *resilience.RetryingSource
 	if q.retry != nil {
-		retrier = resilience.NewRetryingSource(ctx, src, *q.retry)
+		retry := *q.retry
+		if retry.Clock == nil {
+			retry.Clock = q.clock // nil stays nil: NewRetryingSource defaults to wall
+		}
+		retrier = resilience.NewRetryingSource(ctx, src, retry)
 		src = retrier
 	}
 

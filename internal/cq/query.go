@@ -38,6 +38,7 @@ type AggQuery struct {
 	grouped   bool
 
 	retry      *resilience.Retry
+	clock      resilience.Clock
 	overload   resilience.OverloadPolicy
 	ingestCap  int
 	releaseCap int
@@ -110,6 +111,17 @@ func (q *AggQuery) KeepInput() *AggQuery {
 // first source error unretried.
 func (q *AggQuery) Retry(r resilience.Retry) *AggQuery {
 	q.retry = &r
+	return q
+}
+
+// Clock injects the time source RunConcurrent hands to its recovery
+// machinery (retry backoff, breaker cooldowns). The default is the wall
+// clock; the deterministic simulation harness (internal/dst) passes a
+// virtual clock so a chaos-faulted pipeline replays byte-for-byte without
+// wall-clock sleeps. Simulated and production runs execute the same code
+// path — only the clock differs.
+func (q *AggQuery) Clock(c resilience.Clock) *AggQuery {
+	q.clock = c
 	return q
 }
 

@@ -3,6 +3,7 @@ package cq
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/buffer"
@@ -49,6 +50,14 @@ func assertKeyedReportsEqual(t *testing.T, label string, sync, conc *AggReport) 
 // RunConcurrent must reproduce the synchronous Run bit for bit. The fixed
 // K-slack handler exercises the batched insert fast path.
 func TestShardedRunConcurrentMatchesRun(t *testing.T) {
+	if runtime.NumCPU() == 1 {
+		// Output equivalence is schedule-independent, so the assertion
+		// still means something on one core — but the shard workers run
+		// interleaved, not parallel, so this host exercises none of the
+		// cross-core races the test exists to catch. Log it so a green
+		// run on such a host is not mistaken for concurrency coverage.
+		t.Log("single-CPU host: shard workers interleave instead of running in parallel; equivalence checked without true concurrency")
+	}
 	for _, seed := range []uint64{61, 62, 63} {
 		cfg := gen.Sensor(12000, seed)
 		cfg.NumKeys = 64

@@ -276,6 +276,9 @@ func Parse(input string) (Query, error) {
 		if p.cur.kind != tokString {
 			return q, fmt.Errorf("cql: expected quoted file name at %d", p.cur.pos)
 		}
+		if p.cur.text == "" {
+			return q, fmt.Errorf("cql: empty trace file name at %d", p.cur.pos)
+		}
 		q.TraceFile = p.cur.text
 		if err := p.advance(); err != nil {
 			return q, err

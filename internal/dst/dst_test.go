@@ -1,0 +1,223 @@
+package dst
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func TestSchedulerAdvancesOnSleep(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Sleep(context.Background(), 250*time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if got := s.Elapsed(); got != 250*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 250ms", got)
+	}
+	if got := s.Slept(); got != 250*time.Millisecond {
+		t.Fatalf("Slept = %v, want 250ms", got)
+	}
+}
+
+func TestSchedulerSleepHonorsCancelledContext(t *testing.T) {
+	s := NewScheduler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Sleep(ctx, time.Second); err == nil {
+		t.Fatal("Sleep on cancelled context: want error")
+	}
+	if s.Elapsed() != 0 {
+		t.Fatalf("cancelled Sleep advanced time by %v", s.Elapsed())
+	}
+}
+
+func TestSchedulerFiresEventsInOrder(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.Schedule(30*time.Millisecond, func() { fired = append(fired, 3) })
+	s.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.Schedule(10*time.Millisecond, func() { fired = append(fired, 2) }) // same time: schedule order
+	s.Advance(20 * time.Millisecond)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("after Advance(20ms): fired = %v, want [1 2]", fired)
+	}
+	if !s.Step() {
+		t.Fatal("Step: want remaining event")
+	}
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("after Step: fired = %v, want [1 2 3]", fired)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue: want false")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestSchedulerAdvanceToStream(t *testing.T) {
+	s := NewScheduler()
+	s.AdvanceToStream(3 * stream.Second)
+	if got := s.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s (1 stream unit = 1ms)", got)
+	}
+	s.AdvanceToStream(stream.Second) // time is monotone: no going back
+	if got := s.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed moved backwards to %v", got)
+	}
+}
+
+// TestDSTDeterminism is the core replay contract: the same seed must
+// yield a byte-identical event transcript and byte-identical engine
+// output across two independent executions (run under -race in CI).
+func TestDSTDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			p := PlanForSeed(seed)
+			a, err := Execute(p)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := Execute(p)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if a.ItemsDigest != b.ItemsDigest {
+				t.Errorf("event transcript diverged: %.12s vs %.12s", a.ItemsDigest, b.ItemsDigest)
+			}
+			if a.OutputDigest != b.OutputDigest {
+				t.Errorf("engine output diverged: %.12s vs %.12s", a.OutputDigest, b.OutputDigest)
+			}
+			if cd := DigestOutput(a.Conc); cd != DigestOutput(b.Conc) {
+				t.Errorf("concurrent output diverged across runs")
+			}
+		})
+	}
+}
+
+// sweepSeeds returns how many seeds the sweep covers: DST_SEEDS when set,
+// a small smoke budget otherwise (kept low so `make check -race` stays
+// fast; `make dst` and nightly runs raise it).
+func sweepSeeds(t *testing.T) int {
+	if s := os.Getenv("DST_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("DST_SEEDS=%q: want a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+// TestDSTSweep executes the seed-derived plan matrix through the full
+// differential oracle. A failing seed is shrunk to a minimal plan and
+// dumped as a transcript under the test's artifact directory so it can
+// be promoted to testdata/ as a regression.
+func TestDSTSweep(t *testing.T) {
+	n := sweepSeeds(t)
+	for seed := 0; seed < n; seed++ {
+		seed := uint64(seed)
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			p := PlanForSeed(seed)
+			o, err := Execute(p)
+			if err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+			if len(o.Failures) == 0 {
+				return
+			}
+			t.Errorf("%s failed oracle checks: %v", p, o.Failures)
+			min := Shrink(p, func(c Plan) bool {
+				oc, err := Execute(c)
+				return err == nil && len(oc.Failures) > 0
+			}, 48)
+			oc, err := Execute(min)
+			if err != nil || len(oc.Failures) == 0 {
+				t.Logf("shrink lost the failure (err=%v); keeping original plan", err)
+				min, oc = p, o
+			}
+			path := filepath.Join(t.TempDir(), "shrunk.json")
+			if werr := NewTranscript(oc, "shrunk from sweep seed "+strconv.FormatUint(seed, 10)).Write(path); werr == nil {
+				t.Logf("shrunk failing plan written to %s\n%s", path, min)
+			}
+		})
+	}
+}
+
+// TestDSTTranscripts replays every committed transcript in testdata/ —
+// each one pins a workload digest and output digest for a configuration
+// that once exposed a bug.
+func TestDSTTranscripts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed transcripts in testdata/ — the regression net is gone")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			tr, err := ReadTranscript(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Replay(); err != nil {
+				t.Errorf("%s (%s): %v", path, tr.Note, err)
+			}
+		})
+	}
+}
+
+// TestShrinkReducesPlan drives the shrinker with a synthetic predicate:
+// any plan with dup faults "fails", so shrinking must strip everything
+// else while keeping DupRate.
+func TestShrinkReducesPlan(t *testing.T) {
+	p := PlanForSeed(3)
+	p.Chaos = ChaosPlan{DupRate: 0.01, ErrRate: 0.02, SpikeRate: 0.001, SpikeLen: 16}
+	p.NumKeys, p.Shards, p.Batch, p.Heartbeat = 32, 4, 256, stream.Second
+	fails := func(c Plan) bool { return c.Chaos.DupRate > 0 }
+	min := Shrink(p, fails, 200)
+	if min.Chaos.DupRate == 0 {
+		t.Fatal("shrink removed the failing dimension")
+	}
+	if min.Chaos.ErrRate != 0 || min.Chaos.SpikeRate != 0 || min.NumKeys > 1 ||
+		min.Shards > 1 || min.Batch > 1 || min.Heartbeat != 0 {
+		t.Errorf("shrink left reducible dimensions: %s", min)
+	}
+	if min.N >= p.N {
+		t.Errorf("shrink did not reduce workload: n=%d (from %d)", min.N, p.N)
+	}
+}
+
+// TestTranscriptRoundTrip checks Write/Read symmetry.
+func TestTranscriptRoundTrip(t *testing.T) {
+	o, err := Execute(PlanForSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranscript(o, "round-trip")
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tr.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTranscript(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tr {
+		t.Fatalf("round trip changed transcript:\n got %+v\nwant %+v", got, tr)
+	}
+}

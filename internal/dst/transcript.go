@@ -1,0 +1,167 @@
+package dst
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+
+	"repro/internal/cq"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// hashU64 writes one little-endian word into the digest.
+func hashU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func hashF64(h hash.Hash, v float64) { hashU64(h, math.Float64bits(v)) }
+
+// DigestItems fingerprints an event transcript: every field of every item
+// in delivery order. Two runs of the same seed must produce the same
+// digest — this is the "identical event transcript" half of the
+// determinism contract.
+func DigestItems(items []stream.Item) string {
+	h := sha256.New()
+	for _, it := range items {
+		if it.Heartbeat {
+			hashU64(h, 1)
+			hashU64(h, uint64(it.Watermark))
+			continue
+		}
+		hashU64(h, 0)
+		t := it.Tuple
+		hashU64(h, uint64(t.TS))
+		hashU64(h, uint64(t.Arrival))
+		hashU64(h, t.Seq)
+		hashU64(h, t.Key)
+		hashU64(h, uint64(t.Src))
+		hashF64(h, t.Value)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestOutput fingerprints a report's query output: results (plain and
+// keyed, with float bits, so NaN and -0 are distinguished), the flush
+// boundary, and the handler/operator counters. The "identical engine
+// output" half of the determinism contract.
+func DigestOutput(rep *cq.AggReport) string {
+	h := sha256.New()
+	hashResult := func(r window.Result) {
+		hashU64(h, uint64(r.Idx))
+		hashU64(h, uint64(r.Start))
+		hashU64(h, uint64(r.End))
+		hashF64(h, r.Value)
+		hashU64(h, uint64(r.Count))
+		hashU64(h, uint64(r.EmitArrival))
+		if r.Refinement {
+			hashU64(h, 1)
+		} else {
+			hashU64(h, 0)
+		}
+	}
+	hashU64(h, uint64(len(rep.Results)))
+	for _, r := range rep.Results {
+		hashResult(r)
+	}
+	hashU64(h, uint64(len(rep.Keyed)))
+	for _, kr := range rep.Keyed {
+		hashU64(h, kr.Key)
+		hashResult(kr.Result)
+	}
+	hashU64(h, uint64(rep.PreFlush))
+	st := rep.Handler
+	hashU64(h, uint64(st.Inserted))
+	hashU64(h, uint64(st.Released))
+	hashU64(h, uint64(st.Stragglers))
+	hashU64(h, uint64(st.MaxHeld))
+	hashU64(h, uint64(st.MaxK))
+	hashU64(h, uint64(st.Shed))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Transcript is the committed form of a failing (or regression-guarded)
+// simulation: the shrunk plan plus the digests that pin down exactly what
+// the run consumed and produced, and the failure it reproduced when it
+// was recorded. Small enough to commit to testdata/ and replay forever.
+type Transcript struct {
+	// Note says why this transcript exists — what bug it caught.
+	Note string `json:"note,omitempty"`
+	Plan Plan   `json:"plan"`
+	// Items/ItemsDigest pin the event transcript the plan generates.
+	Items       int    `json:"items"`
+	ItemsDigest string `json:"items_digest"`
+	// OutputDigest pins the synchronous run's output. Replay verifies
+	// both digests still match — the workload generator and the engine
+	// contract are covered by one file.
+	OutputDigest string `json:"output_digest"`
+	// Failure is the oracle failure observed when the transcript was
+	// recorded (empty for pure determinism-pinning transcripts).
+	Failure string `json:"failure,omitempty"`
+}
+
+// NewTranscript captures an outcome as a committable transcript.
+func NewTranscript(o *Outcome, note string) Transcript {
+	t := Transcript{
+		Note:         note,
+		Plan:         o.Plan,
+		Items:        o.Items,
+		ItemsDigest:  o.ItemsDigest,
+		OutputDigest: o.OutputDigest,
+	}
+	if len(o.Failures) > 0 {
+		t.Failure = o.Failures[0]
+	}
+	return t
+}
+
+// Write saves the transcript as indented JSON.
+func (t Transcript) Write(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadTranscript loads a committed transcript.
+func ReadTranscript(path string) (Transcript, error) {
+	var t Transcript
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("dst: transcript %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Replay re-executes the transcript's plan and verifies the run still
+// matches the pinned digests and that no oracle contract fails. It is
+// the regression check for bugs the harness has caught before.
+func (t Transcript) Replay() error {
+	o, err := Execute(t.Plan)
+	if err != nil {
+		return err
+	}
+	if o.ItemsDigest != t.ItemsDigest || o.Items != t.Items {
+		return fmt.Errorf("dst: transcript drift: generated %d items digest %.12s, pinned %d items digest %.12s (workload generation changed)",
+			o.Items, o.ItemsDigest, t.Items, t.ItemsDigest)
+	}
+	if o.OutputDigest != t.OutputDigest {
+		return fmt.Errorf("dst: output drift: digest %.12s, pinned %.12s (engine output changed for a pinned workload)",
+			o.OutputDigest, t.OutputDigest)
+	}
+	if len(o.Failures) > 0 {
+		return fmt.Errorf("dst: replay failed oracle checks: %v", o.Failures)
+	}
+	return nil
+}

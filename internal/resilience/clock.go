@@ -1,0 +1,55 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts the passage of time for everything in the pipeline that
+// waits: fault-injection stalls, retry backoff and circuit-breaker
+// cooldowns. Production code runs on WallClock; the deterministic
+// simulation harness (internal/dst) substitutes a virtual clock whose
+// Sleep advances simulated time instantly, so the exact same retry and
+// chaos code paths execute without consuming wall time — one code path
+// for simulated and production time.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep waits for d, returning early with ctx's error if the context
+	// is cancelled first. A nil ctx means "not cancellable".
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// WallClock is the production Clock: real time.Now and timer-based sleeps.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	if ctx == nil {
+		<-t.C
+		return nil
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// orWall returns c, or WallClock when c is nil — the defaulting rule every
+// clock-accepting config in this package shares.
+func orWall(c Clock) Clock {
+	if c == nil {
+		return WallClock{}
+	}
+	return c
+}

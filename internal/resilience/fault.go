@@ -132,9 +132,10 @@ func (s FaultStats) String() string {
 // transient errors leave the underlying position untouched so a retrying
 // caller makes progress.
 type FaultSource struct {
-	src stream.ErrSource
-	cfg Chaos
-	rng *stats.RNG
+	src   stream.ErrSource
+	cfg   Chaos
+	rng   *stats.RNG
+	clock Clock
 
 	st         FaultStats
 	prev       stream.Tuple // last delivered data tuple, for duplication
@@ -151,7 +152,18 @@ func NewFaultSource(src stream.ErrSource, cfg Chaos) *FaultSource {
 	if cfg.SpikeLen <= 0 {
 		cfg.SpikeLen = 16
 	}
-	return &FaultSource{src: src, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	return &FaultSource{src: src, cfg: cfg, rng: stats.NewRNG(cfg.Seed), clock: WallClock{}}
+}
+
+// WithClock substitutes the clock that serves stall faults (WallClock by
+// default) and returns the source. The fault schedule itself is purely
+// RNG-driven, so swapping the clock changes where the stall time comes
+// from — wall sleeps in production, instant virtual-time advances under
+// the deterministic simulation harness — without changing which calls
+// stall.
+func (f *FaultSource) WithClock(c Clock) *FaultSource {
+	f.clock = orWall(c)
+	return f
 }
 
 // Stats returns the faults injected so far.
@@ -170,7 +182,7 @@ func (f *FaultSource) NextErr() (stream.Item, bool, error) {
 	}
 	if f.cfg.StallRate > 0 && f.rng.Float64() < f.cfg.StallRate {
 		f.st.Stalls++
-		time.Sleep(f.cfg.StallDur)
+		f.clock.Sleep(nil, f.cfg.StallDur)
 	}
 	if f.hasPrev && f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate {
 		f.st.Duplicates++

@@ -27,6 +27,12 @@ type Retry struct {
 	// Zero threshold disables the breaker.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// Clock provides the time source for backoff sleeps and breaker
+	// cooldowns. Nil means WallClock; the deterministic simulation
+	// harness injects a virtual clock here so retry schedules replay
+	// identically without wall-clock delays.
+	Clock Clock
 }
 
 func (r Retry) withDefaults() Retry {
@@ -51,6 +57,7 @@ func (r Retry) withDefaults() Retry {
 	if r.BreakerCooldown <= 0 {
 		r.BreakerCooldown = time.Second
 	}
+	r.Clock = orWall(r.Clock)
 	return r
 }
 
@@ -86,24 +93,9 @@ func (r Retry) Do(ctx context.Context, op func() error) error {
 		if attempt >= r.MaxAttempts {
 			return fmt.Errorf("resilience: gave up after %d attempts: %w", attempt, err)
 		}
-		if serr := sleep(ctx, r.backoff(attempt, rng)); serr != nil {
+		if serr := r.Clock.Sleep(ctx, r.backoff(attempt, rng)); serr != nil {
 			return serr
 		}
-	}
-}
-
-// sleep waits for d, returning early with ctx's error if it is cancelled.
-func sleep(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return nil
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
 	}
 }
 
@@ -227,12 +219,15 @@ type RetryingSource struct {
 }
 
 // NewRetryingSource wraps src. ctx bounds the backoff sleeps — cancelling
-// it aborts an in-progress retry loop with the context's error.
+// it aborts an in-progress retry loop with the context's error. The retry
+// config's Clock (WallClock by default) times both the backoff sleeps and
+// the breaker cooldown.
 func NewRetryingSource(ctx context.Context, src stream.ErrSource, retry Retry) *RetryingSource {
 	retry = retry.withDefaults()
 	s := &RetryingSource{ctx: ctx, src: src, retry: retry, rng: stats.NewRNG(retry.Seed)}
 	if retry.BreakerThreshold > 0 {
 		s.breaker = NewBreaker(retry.BreakerThreshold, retry.BreakerCooldown)
+		s.breaker.now = retry.Clock.Now
 	}
 	return s
 }
@@ -277,7 +272,7 @@ func (s *RetryingSource) NextErr() (stream.Item, bool, error) {
 			return stream.Item{}, false, fmt.Errorf("resilience: source failed after %d attempts: %w", attempt, err)
 		}
 		s.retries.Add(1)
-		if serr := sleep(s.ctx, s.retry.backoff(attempt, s.rng)); serr != nil {
+		if serr := s.retry.Clock.Sleep(s.ctx, s.retry.backoff(attempt, s.rng)); serr != nil {
 			return stream.Item{}, false, serr
 		}
 	}
