@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench dst cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-trace dst cover
 
 check: vet build race fuzz-short dst doccheck
 
@@ -60,11 +60,11 @@ cover:
 			} \
 		}'
 
-# Documentation gate: `go vet`-clean telemetry package (vet ./... above
-# already covers it; this pins it even if the wide vet target changes)
-# and no dead relative links in any *.md file.
+# Documentation gate: `go vet`-clean telemetry packages (vet ./... above
+# already covers them; this pins them even if the wide vet target
+# changes) and no dead relative links in any *.md file.
 doccheck:
-	$(GO) vet ./internal/obs
+	$(GO) vet ./internal/obs/...
 	$(GO) test . -run '^TestDocLinks$$'
 
 # PR3 performance gate: run the transport/sharding benchmarks and commit
@@ -76,6 +76,15 @@ bench:
 	$(GO) test -bench 'BenchmarkPipelineBatched|BenchmarkGroupedSharded' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# PR5 performance gate: the always-on flight recorder must stay cheap.
+# BenchmarkTraceOverhead runs the batched concurrent pipeline with the
+# tracer off and on; BENCH_PR5.json records both so the ≤3% overhead bar
+# (EXPERIMENTS.md R17) can be re-verified on any host.
+bench-trace:
+	$(GO) test -bench 'BenchmarkTraceOverhead' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

@@ -11,6 +11,7 @@
 //	GET /queries/{name}               one query's status
 //	GET /queries/{name}/results?last=N recent window results
 //	GET /queries/{name}/trace         adaptation trace (K over time)
+//	GET /debug/aq/trace?query=N&last=n flight-recorder events as Chrome trace JSON
 //	GET /metrics                      Prometheus text format (with -obs)
 //	GET /debug/pprof/...              Go profiling endpoints (with -obs)
 //
@@ -35,6 +36,19 @@
 // docs/OBSERVABILITY.md for the metric catalog and a worked monitoring
 // walkthrough.
 //
+// Tracing: every query always mirrors its pipeline lifecycle — source
+// batches, buffer inserts/releases, slack adaptations, window emits with
+// provenance, sheds, retries, panics — into a fixed-ring flight recorder
+// (-trace-buf events). GET /debug/aq/trace?query=NAME&last=n serves the
+// ring as Chrome trace-event JSON (load it in Perfetto), and -trace-dump
+// DIR writes automatic dumps when a panic is isolated, a circuit breaker
+// trips, or a query's quality-SLO watchdog detects realized error above
+// its θ; violations are also listed in /readyz (qualityViolations) and —
+// with -obs — exported as aq_quality_violation_total and
+// aq_time_in_violation_ms. Logs are structured (log/slog) per query and
+// mirrored into the recorder, so a dump interleaves pipeline events with
+// the server's own account of them.
+//
 // Execution: one of the queries (user-sum-10s) is a GROUP BY query run by
 // the sharded concurrent engine — -shards picks its window-worker count
 // and -batch the pipeline transport batch size. The same -batch also sets
@@ -45,7 +59,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +69,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -70,7 +85,10 @@ type appConfig struct {
 	policy    resilience.OverloadPolicy
 	chaos     resilience.Chaos
 	chaosOn   bool
-	obs       bool // serve /metrics + pprof and instrument every query
+	obs       bool         // serve /metrics + pprof and instrument every query
+	traceBuf  int          // flight-recorder ring size per query (events)
+	traceDump string       // directory for automatic flight-recorder dumps; empty = off
+	log       *slog.Logger // base structured logger; nil = stderr text handler
 }
 
 // app ties the HTTP state, the query runners and their feed loops
@@ -78,13 +96,17 @@ type appConfig struct {
 type app struct {
 	cfg     appConfig
 	srv     *server
+	log     *slog.Logger
 	runners []*queryRunner
 	loads   []func(seed uint64) gen.Config
 	wg      sync.WaitGroup
 }
 
 func newApp(cfg appConfig) *app {
-	a := &app{cfg: cfg, srv: newServer()}
+	if cfg.log == nil {
+		cfg.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	a := &app{cfg: cfg, srv: newServer(), log: cfg.log}
 	if cfg.obs {
 		a.srv.reg = obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(a.srv.reg)
@@ -120,6 +142,21 @@ func newApp(cfg appConfig) *app {
 			q = newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
 			q.batchSize = cfg.batch
 		}
+		// Tracing is always on: a per-query flight recorder over a fixed
+		// ring of recent events, served at /debug/aq/trace and dumped on
+		// panics, breaker trips and quality violations.
+		rec := tracez.NewRecorder(cfg.traceBuf)
+		tr := tracez.New(rec, sp.name)
+		var wd *tracez.Watchdog
+		if sp.theta > 0 {
+			wd = tracez.NewWatchdog(sp.theta, nil)
+			tr.SetWatchdog(wd)
+		}
+		q.log = slog.New(tracez.NewLogHandler(cfg.log.Handler(), rec)).With("query", sp.name)
+		if cfg.traceDump != "" {
+			installDumpSink(tr, cfg.traceDump, q.log)
+		}
+		q.setTracer(tr, wd)
 		if a.srv.reg != nil {
 			q.instrument(a.srv.reg)
 		}
@@ -171,18 +208,26 @@ func main() {
 	shards := flag.Int("shards", 4, "window shards for grouped (GROUP BY) queries")
 	batch := flag.Int("batch", 64, "items applied per lock acquisition / pipeline transport batch")
 	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
+	traceBuf := flag.Int("trace-buf", tracez.DefaultRecorderSize, "flight-recorder ring size per query, in events")
+	traceDump := flag.String("trace-dump", "", "directory for automatic flight-recorder dumps (panic, breaker trip, quality violation); empty = off")
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(err error) {
+		logger.Error("aqserver: startup failed", "err", err)
+		os.Exit(1)
+	}
 	chaos, err := resilience.ParseChaos(*chaosSpec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	policy, err := resilience.ParseOverloadPolicy(*overload)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
-		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn}
+		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
+		traceBuf: *traceBuf, traceDump: *traceDump, log: logger}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -191,25 +236,25 @@ func main() {
 	a.startFeeds(ctx)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: a.srv.handler()}
-	log.Printf("aqserver: %d queries, listening on %s (overload=%s chaos=%v)",
-		len(a.runners), *addr, policy, cfg.chaosOn)
-	log.Printf("try: curl http://localhost%s/queries", *addr)
+	logger.Info("aqserver: listening", "queries", len(a.runners), "addr", *addr,
+		"overload", policy.String(), "chaos", cfg.chaosOn)
+	logger.Info("try: curl http://localhost" + *addr + "/queries")
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
-		log.Printf("aqserver: shutdown signal received, draining %d queries", len(a.runners))
+		logger.Info("aqserver: shutdown signal received, draining", "queries", len(a.runners))
 		a.drain()
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shCtx); err != nil {
-			log.Printf("aqserver: http shutdown: %v", err)
+			logger.Error("aqserver: http shutdown", "err", err)
 		}
-		log.Printf("aqserver: drained, exiting")
+		logger.Info("aqserver: drained, exiting")
 	}
 }
 
@@ -230,6 +275,11 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 		MaxAttempts: 6, BaseDelay: 20 * time.Millisecond, MaxDelay: time.Second, Seed: seed,
 		BreakerThreshold: 8, BreakerCooldown: 2 * time.Second,
 	}
+	if q.tracer != nil {
+		tr := q.tracer
+		retry.OnRetry = func(attempt int, err error) { tr.Retry(0, attempt) }
+		retry.OnBreakerTrip = func() { tr.BreakerTrip(0) }
+	}
 	var base stream.Time
 	for loop := uint64(0); ctx.Err() == nil; loop++ {
 		tuples := load(seed + loop).Arrivals()
@@ -237,7 +287,7 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 			// A generator that yields nothing used to kill the query
 			// silently and forever; log it and close out the query so its
 			// state is flushed and /readyz says "done", not limbo.
-			log.Printf("aqserver: %s: generator yielded no tuples for segment %d; marking query done", q.name, loop)
+			q.log.Warn("generator yielded no tuples; marking query done", "segment", loop)
 			q.finish()
 			return
 		}
@@ -276,7 +326,7 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 				// of re-dialing an upstream.
 				segmentOK = false
 				q.setHealth(healthStalled)
-				log.Printf("aqserver: %s: source failed on segment %d (%v); reconnecting", q.name, loop, err)
+				q.log.Error("source failed; reconnecting", "segment", loop, "err", err)
 				sleepCtx(ctx, time.Second)
 				break
 			}
@@ -306,7 +356,7 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 			q.setHealth(healthFeeding)
 		}
 		base = maxTS + stream.Second
-		log.Printf("aqserver: %s finished segment %d (%d items), re-basing to %d", q.name, loop, sent, base)
+		q.log.Info("segment finished", "segment", loop, "items", sent, "rebase", int64(base))
 	}
 }
 

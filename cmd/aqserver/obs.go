@@ -37,6 +37,10 @@ var healthStates = []string{healthFeeding, healthDegraded, healthStalled, health
 func (q *queryRunner) instrument(reg *obs.Registry) {
 	lbl := obs.L("query", q.name)
 
+	// Quality-SLO verdicts: aq_quality_violation_total and
+	// aq_time_in_violation_ms, pulled from the watchdog at scrape time.
+	q.watchdog.Register(reg, q.name)
+
 	// Push side: controller/quality metrics from the adaptive handler,
 	// and the emission-latency histogram filled by absorb. Grouped runners
 	// have no adaptive handler — their push side is the cq engine's own
@@ -45,7 +49,7 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		q.handler.Instrument(core.NewTelemetry(reg, q.name))
 		q.emitLatency = reg.Histogram("aq_emit_latency_ms",
 			"Window result emission latency in stream-time ms (emission position minus window end).",
-			obs.LatencyBuckets(), lbl)
+			cq.LatencyBucketsFor(q.spec), lbl)
 	} else {
 		// The engine telemetry already owns aq_shed_tuples_total and
 		// aq_emit_latency_ms for this query (the runner's shed path
@@ -53,7 +57,7 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		// runner-side CounterFunc too would collide, and observing the
 		// histogram from absorb too would double-count). q.emitLatency
 		// stays nil; the runner's p95 gauge still sees every result.
-		q.telemetry = cq.NewTelemetry(reg, q.name)
+		q.telemetry = cq.NewTelemetry(reg, q.name, q.spec)
 	}
 
 	// Pull side: cumulative counters owned by the runner.

@@ -4,7 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -17,6 +17,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -68,8 +69,20 @@ type queryRunner struct {
 	// so the worker's panic isolation can be exercised.
 	panicOn func(stream.Item) bool
 
-	mu         sync.Mutex
-	handler    *core.AQKSlack
+	// tracer mirrors the runner's lifecycle into a flight recorder (see
+	// trace.go); watchdog turns θ into live SLO verdicts. Both are nil
+	// until setTracer and tolerate staying nil (tests feed untraced).
+	tracer   *tracez.Tracer
+	watchdog *tracez.Watchdog
+	// log is the per-query structured logger; records are mirrored into
+	// the flight recorder when tracing is on. Defaults to slog.Default.
+	log *slog.Logger
+
+	mu      sync.Mutex
+	handler *core.AQKSlack
+	// buf is the disorder handler the write path drives: q.handler
+	// itself, or its traced wrapper once setTracer ran.
+	buf        buffer.Handler
 	op         *window.Op
 	rel        []stream.Tuple
 	resScratch []window.Result // reusable per-process result scratch
@@ -92,7 +105,7 @@ type queryRunner struct {
 const resultRing = 256
 
 func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Factory) *queryRunner {
-	return &queryRunner{
+	q := &queryRunner{
 		name:    name,
 		theta:   theta,
 		spec:    spec,
@@ -101,7 +114,10 @@ func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Fac
 		op:      window.NewOp(spec, agg, window.DropLate, 0),
 		latency: stats.NewP2(0.95),
 		health:  healthFeeding,
+		log:     slog.Default(),
 	}
+	q.buf = q.handler
+	return q
 }
 
 // newKeyedQueryRunner builds a grouped (GROUP BY key) runner: per-key
@@ -118,6 +134,7 @@ func newKeyedQueryRunner(name string, spec window.Spec, agg window.Factory, k st
 		fixedK:     k,
 		latency:    stats.NewP2(0.95),
 		health:     healthFeeding,
+		log:        slog.Default(),
 	}
 }
 
@@ -187,10 +204,13 @@ func (q *queryRunner) startGrouped(capacity int, policy resilience.OverloadPolic
 	if q.telemetry != nil {
 		query.Instrument(q.telemetry)
 	}
+	if q.tracer != nil {
+		query.Trace(q.tracer)
+	}
 	go func() {
 		defer close(q.workerDone)
 		if _, err := query.RunConcurrent(context.Background(), nil); err != nil {
-			log.Printf("aqserver: %s: grouped pipeline failed: %v", q.name, err)
+			q.log.Error("grouped pipeline failed", "err", err)
 			q.mu.Lock()
 			q.panics++
 			q.health = healthStalled
@@ -262,7 +282,8 @@ func (q *queryRunner) processLocked(it stream.Item) {
 			if q.health == healthFeeding {
 				q.health = healthDegraded
 			}
-			log.Printf("aqserver: %s: panic isolated while processing %v: %v", q.name, it, p)
+			q.tracer.Panic(tracez.StageWindow, int64(q.now), fmt.Sprint(p))
+			q.log.Error("panic isolated while processing item", "item", fmt.Sprint(it), "panic", fmt.Sprint(p))
 		}
 	}()
 	if q.panicOn != nil && q.panicOn(it) {
@@ -276,7 +297,7 @@ func (q *queryRunner) processLocked(it stream.Item) {
 	} else if it.Watermark > q.now {
 		q.now = it.Watermark
 	}
-	q.rel = q.handler.Insert(it, q.rel[:0])
+	q.rel = q.buf.Insert(it, q.rel[:0])
 	q.resScratch = q.resScratch[:0]
 	for _, t := range q.rel {
 		q.resScratch = q.op.Observe(t, q.now, q.resScratch)
@@ -302,7 +323,7 @@ func (q *queryRunner) finish() {
 			q.health = healthDone
 			return
 		}
-		q.rel = q.handler.Flush(q.rel[:0])
+		q.rel = q.buf.Flush(q.rel[:0])
 		q.resScratch = q.resScratch[:0]
 		for _, t := range q.rel {
 			q.resScratch = q.op.Observe(t, q.now, q.resScratch)
@@ -326,6 +347,11 @@ func (q *queryRunner) absorbOne(r window.Result) {
 	q.emitted++
 	q.latency.Add(float64(r.Latency()))
 	q.observeLatency(float64(r.Latency()))
+	if !q.grouped {
+		// Grouped runners' emits are traced inside the cq engine; tracing
+		// them here too would double-count every window.
+		q.tracer.Emit(int64(r.EmitArrival), -1, r.Idx, int64(r.Start), int64(r.End), 0, r.Count, int64(r.Latency()))
+	}
 	q.results = append(q.results, r)
 	if len(q.results) > resultRing {
 		q.results = q.results[len(q.results)-resultRing:]
@@ -509,6 +535,11 @@ type readiness struct {
 	Ready    bool              `json:"ready"`
 	Draining bool              `json:"draining"`
 	Queries  map[string]string `json:"queries"`
+	// QualityViolations lists queries whose realized error is currently
+	// above their declared θ (the quality-SLO watchdog's live verdict).
+	// A degraded state, not an unready one: the queries still serve,
+	// just honestly worse.
+	QualityViolations []string `json:"qualityViolations,omitempty"`
 }
 
 // readiness reports per-query health. The server is ready when it is not
@@ -528,6 +559,9 @@ func (s *server) readiness() readiness {
 		r.Queries[n] = h
 		if h == healthStalled {
 			r.Ready = false
+		}
+		if q.watchdog.InViolation() {
+			r.QualityViolations = append(r.QualityViolations, n)
 		}
 	}
 	return r
@@ -580,6 +614,7 @@ func (s *server) handler() http.Handler {
 			http.Error(w, "unknown endpoint", http.StatusNotFound)
 		}
 	})
+	mux.HandleFunc("/debug/aq/trace", s.handleTrace)
 	if s.reg != nil {
 		mountObs(mux, s.reg)
 	}

@@ -10,6 +10,12 @@
 // One-shot mode:
 //
 //	$ go run ./cmd/cqlsh -e "SELECT avg FROM bursty WINDOW 10s SLIDE 1s QUALITY 0.5%" -n 200000
+//
+// With -trace out.json the shell records every executed statement's
+// pipeline events (buffer inserts/releases, K adaptations, emissions)
+// into one flight recorder and writes it as Chrome trace-event JSON on
+// exit — load it in Perfetto or chrome://tracing. This is event tracing,
+// not the trace('file.csv') CQL source (which replays recorded input).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cql"
 	"repro/internal/metrics"
+	"repro/internal/obs/tracez"
 )
 
 func main() {
@@ -31,10 +38,20 @@ func main() {
 	n := flag.Int("n", 100000, "tuples to generate per query")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	warmup := flag.Int("warmup", 20, "windows to skip in the metrics")
+	traceOut := flag.String("trace", "", "write executed statements' event trace to this file (Chrome trace JSON)")
 	flag.Parse()
 
+	var tr *tracez.Tracer
+	if *traceOut != "" {
+		tr = tracez.New(tracez.NewRecorder(tracez.DefaultRecorderSize), "cqlsh")
+	}
+
 	if *stmt != "" {
-		if err := execute(os.Stdout, *stmt, *n, *seed, *warmup); err != nil {
+		err := execute(os.Stdout, *stmt, *n, *seed, *warmup, tr)
+		if werr := writeTrace(*traceOut, tr); werr != nil && err == nil {
+			err = werr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cqlsh:", err)
 			os.Exit(1)
 		}
@@ -47,6 +64,7 @@ func main() {
 		fmt.Print("cql> ")
 		if !sc.Scan() {
 			fmt.Println()
+			flushTrace(*traceOut, tr)
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -54,14 +72,41 @@ func main() {
 		case line == "":
 			continue
 		case strings.EqualFold(line, "quit"), strings.EqualFold(line, "exit"):
+			flushTrace(*traceOut, tr)
 			return
 		case strings.EqualFold(line, "help"):
 			printHelp()
 			continue
 		}
-		if err := execute(os.Stdout, line, *n, *seed, *warmup); err != nil {
+		if err := execute(os.Stdout, line, *n, *seed, *warmup, tr); err != nil {
 			fmt.Println("error:", err)
 		}
+	}
+}
+
+// writeTrace exports the recorder as Chrome trace-event JSON; a no-op
+// without -trace.
+func writeTrace(path string, tr *tracez.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events := tr.Recorder().Events()
+	extra := map[string]any{"events": len(events), "provenance": tr.Provenances()}
+	return tracez.WriteChromeTrace(f, "cqlsh", events, extra)
+}
+
+// flushTrace is writeTrace for the interactive exit paths, where the
+// error can only be reported, not returned.
+func flushTrace(path string, tr *tracez.Tracer) {
+	if err := writeTrace(path, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "cqlsh: writing trace:", err)
+	} else if tr != nil {
+		fmt.Fprintln(os.Stderr, "event trace written to", path)
 	}
 }
 
@@ -82,14 +127,14 @@ examples:
 `)
 }
 
-func execute(w io.Writer, stmt string, n int, seed uint64, warmup int) error {
+func execute(w io.Writer, stmt string, n int, seed uint64, warmup int, tr *tracez.Tracer) error {
 	q, err := cql.Parse(stmt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "executing:", q.String())
 	start := time.Now()
-	rep, err := q.Run(n, seed)
+	rep, err := q.RunTraced(n, seed, tr)
 	if err != nil {
 		return err
 	}

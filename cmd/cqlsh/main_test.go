@@ -1,13 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/tracez"
 )
 
 func TestExecuteStatement(t *testing.T) {
 	var out strings.Builder
-	err := execute(&out, "SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s QUALITY 2%", 20000, 3, 10)
+	err := execute(&out, "SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s QUALITY 2%", 20000, 3, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +26,7 @@ func TestExecuteStatement(t *testing.T) {
 
 func TestExecuteGrouped(t *testing.T) {
 	var out strings.Builder
-	err := execute(&out, "SELECT count FROM cdr GROUP BY key WINDOW 10s SLIDE 10s QUALITY 5%", 10000, 3, 8)
+	err := execute(&out, "SELECT count FROM cdr GROUP BY key WINDOW 10s SLIDE 10s QUALITY 5%", 10000, 3, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,18 +37,50 @@ func TestExecuteGrouped(t *testing.T) {
 
 func TestExecuteParseError(t *testing.T) {
 	var out strings.Builder
-	if err := execute(&out, "SELEKT nonsense", 100, 1, 0); err == nil {
+	if err := execute(&out, "SELEKT nonsense", 100, 1, 0, nil); err == nil {
 		t.Fatal("bad statement accepted")
 	}
 }
 
 func TestExecuteExplicitHandler(t *testing.T) {
 	var out strings.Builder
-	err := execute(&out, "SELECT avg FROM sensor WINDOW 10s SLIDE 1s HANDLER kslack(2s)", 10000, 4, 5)
+	err := execute(&out, "SELECT avg FROM sensor WINDOW 10s SLIDE 1s HANDLER kslack(2s)", 10000, 4, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "adaptive handler") {
 		t.Fatal("explicit handler reported as adaptive")
+	}
+}
+
+// TestExecuteTraced runs a statement with the event tracer attached and
+// checks the -trace export is a loadable Chrome trace with events from
+// the run.
+func TestExecuteTraced(t *testing.T) {
+	tr := tracez.New(tracez.NewRecorder(1<<12), "cqlsh")
+	var out strings.Builder
+	err := execute(&out, "SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s QUALITY 2%", 20000, 3, 10, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Recorder().Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		t.Fatalf("trace file is not Chrome trace JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
 	}
 }

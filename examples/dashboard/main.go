@@ -75,7 +75,7 @@ func main() {
 				Handle(handler).
 				Window(p.spec, p.agg).
 				KeepInput().
-				Instrument(cq.NewTelemetry(reg, p.name)).
+				Instrument(cq.NewTelemetry(reg, p.name, p.spec)).
 				RunConcurrent(ctx, func(window.Result) { p.results.Add(1) })
 			if err != nil {
 				log.Fatalf("%s: %v", p.name, err)

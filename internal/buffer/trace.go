@@ -1,0 +1,99 @@
+package buffer
+
+import (
+	"repro/internal/obs/tracez"
+	"repro/internal/stream"
+)
+
+// Traced wraps any Handler and mirrors its activity into a flight
+// recorder as delta events: tuples inserted, released and released out
+// of order, plus every slack change. Like Instrumented it derives the
+// deltas from the handler's own cumulative Stats after each call — one
+// Stats read per call (per batch on the batched path), no hooks in the
+// handlers' hot loops. Event timestamps are the maximum event time seen,
+// i.e. the buffer's clock, so traces replay deterministically under the
+// simulation harness.
+//
+// Traced is a Handler (and a BatchHandler) and is driven single-writer
+// like any handler; the tracer it feeds is safe for concurrent use.
+type Traced struct {
+	inner Handler
+	tr    *tracez.Tracer
+
+	prev  Stats
+	prevK stream.Time
+	kInit bool
+	at    stream.Time
+}
+
+// NewTraced wraps h so its activity is recorded by tr.
+func NewTraced(h Handler, tr *tracez.Tracer) *Traced {
+	return &Traced{inner: h, tr: tr}
+}
+
+// Insert implements Handler.
+func (b *Traced) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
+	b.advance(it)
+	out = b.inner.Insert(it, out)
+	b.sync()
+	return out
+}
+
+// InsertBatch implements BatchHandler, forwarding to the inner handler's
+// fast path (or the per-item fallback) and syncing once per batch.
+func (b *Traced) InsertBatch(items []stream.Item, out []stream.Tuple, ends []int) ([]stream.Tuple, []int) {
+	for _, it := range items {
+		b.advance(it)
+	}
+	out, ends = InsertBatch(b.inner, items, out, ends)
+	b.sync()
+	return out, ends
+}
+
+// Flush implements Handler.
+func (b *Traced) Flush(out []stream.Tuple) []stream.Tuple {
+	out = b.inner.Flush(out)
+	b.sync()
+	return out
+}
+
+// advance moves the wrapper's event-time clock.
+func (b *Traced) advance(it stream.Item) {
+	switch {
+	case it.Heartbeat:
+		if it.Watermark > b.at {
+			b.at = it.Watermark
+		}
+	case it.Tuple.TS > b.at:
+		b.at = it.Tuple.TS
+	}
+}
+
+// sync records the deltas since the previous call.
+func (b *Traced) sync() {
+	st := b.inner.Stats()
+	k := b.inner.K()
+	kChanged := !b.kInit || k != b.prevK
+	b.tr.BufferSync(int64(b.at),
+		st.Inserted-b.prev.Inserted,
+		st.Released-b.prev.Released,
+		st.Stragglers-b.prev.Stragglers,
+		int64(k), kChanged)
+	b.prev = st
+	b.prevK, b.kInit = k, true
+}
+
+// K implements Handler.
+func (b *Traced) K() stream.Time { return b.inner.K() }
+
+// Len implements Handler.
+func (b *Traced) Len() int { return b.inner.Len() }
+
+// Stats implements Handler.
+func (b *Traced) Stats() Stats { return b.inner.Stats() }
+
+// String implements Handler, delegating to the wrapped handler.
+func (b *Traced) String() string { return b.inner.String() }
+
+// Unwrap returns the wrapped handler.
+func (b *Traced) Unwrap() Handler { return b.inner }

@@ -1,0 +1,98 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/obs/tracez"
+	"repro/internal/stream"
+)
+
+// kindCounts tallies the recorder's events by kind.
+func kindCounts(rec *tracez.Recorder) map[tracez.Kind]int64 {
+	n := make(map[tracez.Kind]int64)
+	for _, ev := range rec.Events() {
+		n[ev.Kind] += ev.N
+		if ev.N == 0 {
+			n[ev.Kind]++
+		}
+	}
+	return n
+}
+
+func TestTracedMirrorsHandlerActivity(t *testing.T) {
+	rec := tracez.NewRecorder(1 << 10)
+	h := NewTraced(NewKSlack(5), tracez.New(rec, "test"))
+
+	var out []stream.Tuple
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 100, Arrival: 100}), out)
+	// Clock 110 releases TS 100 (≤ 110−K) in order.
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 110, Arrival: 110, Seq: 1}), out)
+	// A straggler: TS 95 is behind the released TS 100, forwarded out of
+	// event-time order.
+	out = h.Insert(stream.DataItem(stream.Tuple{TS: 95, Arrival: 115, Seq: 2}), out)
+	out = h.Insert(stream.HeartbeatItem(120), out)
+	out = h.Flush(out)
+
+	st := h.Stats()
+	if st.Inserted != 3 || st.Released != 3 {
+		t.Fatalf("stats = %+v, want 3 inserted, 3 released", st)
+	}
+	n := kindCounts(rec)
+	if n[tracez.KindInsert] != st.Inserted {
+		t.Errorf("insert events carry N=%d, want %d", n[tracez.KindInsert], st.Inserted)
+	}
+	if n[tracez.KindRelease] != st.Released {
+		t.Errorf("release events carry N=%d, want %d", n[tracez.KindRelease], st.Released)
+	}
+	if n[tracez.KindStraggler] != st.Stragglers || st.Stragglers == 0 {
+		t.Errorf("straggler events carry N=%d, want %d (nonzero)",
+			n[tracez.KindStraggler], st.Stragglers)
+	}
+	if n[tracez.KindKSet] == 0 {
+		t.Error("no k-set event for the initial slack")
+	}
+
+	// Event timestamps follow the buffer's event-time clock, never exceed it.
+	for _, ev := range rec.Events() {
+		if ev.At > 120 {
+			t.Fatalf("event timestamp %d beyond max event time 120: %+v", ev.At, ev)
+		}
+	}
+}
+
+func TestTracedBatchAndForwarding(t *testing.T) {
+	rec := tracez.NewRecorder(1 << 10)
+	inner := NewKSlack(4)
+	h := NewTraced(inner, tracez.New(rec, "test"))
+
+	items := []stream.Item{
+		stream.DataItem(stream.Tuple{TS: 10, Arrival: 10}),
+		stream.DataItem(stream.Tuple{TS: 12, Arrival: 12, Seq: 1}),
+		stream.DataItem(stream.Tuple{TS: 30, Arrival: 30, Seq: 2}),
+	}
+	out, ends := h.InsertBatch(items, nil, nil)
+	if len(ends) != len(items) {
+		t.Fatalf("ends = %d entries, want %d", len(ends), len(items))
+	}
+	before := rec.Len()
+	out = h.Flush(out[:0])
+	if rec.Len() == before && len(out) > 0 {
+		t.Error("flush released tuples but recorded nothing")
+	}
+
+	// The batched path syncs once per batch, not per item.
+	n := kindCounts(rec)
+	if n[tracez.KindInsert] != 3 {
+		t.Errorf("insert events carry N=%d, want 3", n[tracez.KindInsert])
+	}
+
+	if h.K() != inner.K() || h.Len() != inner.Len() || h.Stats() != inner.Stats() {
+		t.Error("forwarders disagree with the wrapped handler")
+	}
+	if h.String() != inner.String() {
+		t.Errorf("String() = %q, want %q", h.String(), inner.String())
+	}
+	if h.Unwrap() != Handler(inner) {
+		t.Error("Unwrap did not return the wrapped handler")
+	}
+}

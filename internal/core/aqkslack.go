@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs/tracez"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -159,8 +160,9 @@ type AQKSlack struct {
 	trace     []KSample
 	qstats    QualityStats
 
-	telem      *Telemetry // optional live metrics; nil when uninstrumented
-	lastClamps int64      // PI clamp count already published to telem
+	telem      *Telemetry     // optional live metrics; nil when uninstrumented
+	tracer     *tracez.Tracer // optional event tracing; nil-safe when absent
+	lastClamps int64          // PI clamp count already published to telem
 
 	scratchRes []window.Result
 }
@@ -247,6 +249,18 @@ func (a *AQKSlack) String() string {
 // Trace returns the adaptation trace (one sample per adaptation step).
 func (a *AQKSlack) Trace() []KSample { return a.trace }
 
+// TraceTo mirrors the controller's decisions into a flight recorder:
+// every adaptation step becomes a KindKAdapt event (chosen slack +
+// estimated error) and every finalized window's realized error a
+// KindQuality sample, which also drives the tracer's quality-SLO
+// watchdog when one is attached. The cq executors wire this up
+// automatically for AggQuery.Trace; the declared bound θ is published
+// for provenance. Safe to call with nil to detach.
+func (a *AQKSlack) TraceTo(tr *tracez.Tracer) {
+	a.tracer = tr
+	tr.SetTheta(a.cfg.Theta)
+}
+
 // Quality returns cumulative quality-control counters.
 func (a *AQKSlack) Quality() QualityStats {
 	q := a.qstats
@@ -312,6 +326,7 @@ func (a *AQKSlack) finalize() {
 					a.telem.Finalized.Inc()
 					a.telem.RealizedErr.Set(a.realized.v)
 				}
+				a.tracer.QualitySample(int64(a.relClock), idx, a.realized.v)
 			}
 			delete(a.full, idx)
 		}
@@ -384,6 +399,7 @@ func (a *AQKSlack) maybeAdapt() {
 	estErr := a.est.EstimateErr(k)
 	a.qstats.Adaptations++
 	a.qstats.LastEstErr = estErr
+	a.tracer.AdaptDecision(int64(clock), int64(k), estErr)
 	a.trace = append(a.trace, KSample{
 		At: clock, K: k, EstErr: estErr, RealizedErr: a.realized.v, PIFactor: factor,
 	})

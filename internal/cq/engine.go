@@ -75,6 +75,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	if handler == nil {
 		handler = buffer.Zero()
 	}
+	handler = q.traceHandler(handler)
 	rep := &AggReport{}
 
 	// Internal cancellation: stage failures cancel the whole pipeline so
@@ -140,6 +141,11 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		if retry.Clock == nil {
 			retry.Clock = q.clock // nil stays nil: NewRetryingSource defaults to wall
 		}
+		if q.tracer != nil {
+			tr := q.tracer
+			retry.OnRetry = func(attempt int, err error) { tr.Retry(0, attempt) }
+			retry.OnBreakerTrip = func() { tr.BreakerTrip(0) }
+		}
 		retrier = resilience.NewRetryingSource(ctx, src, retry)
 		src = retrier
 	}
@@ -156,6 +162,8 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		defer close(items)
 		defer recoverStage("source")
 		cur := getItemBatch()
+		var maxTS stream.Time
+		tsStarted := false
 		// ship sends the in-progress batch downstream; the non-blocking
 		// form is the overload probe, the blocking form applies
 		// backpressure. False means the pipeline was cancelled.
@@ -178,11 +186,10 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				}
 			}
 			q.telem.noteIngestBatch(n)
+			q.tracer.SourceBatch(int64(maxTS), n)
 			cur = getItemBatch()
 			return true
 		}
-		var maxTS stream.Time
-		tsStarted := false
 		for {
 			it, ok, err := src.NextErr()
 			if err != nil {
@@ -231,6 +238,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				if canShed {
 					shed++
 					q.telem.noteShed()
+					q.tracer.Shed(int64(it.Tuple.TS), 1)
 					continue
 				}
 				if !ship(true) {
@@ -371,12 +379,16 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					}
 					for _, kr := range step {
 						q.telem.noteResult(kr.Result, postMark)
+						q.tracer.Emit(int64(kr.EmitArrival), -1, kr.Idx, int64(kr.Start), int64(kr.End), kr.Key, kr.Count, int64(kr.Latency()))
 						if q.keyedSink != nil {
 							q.keyedSink(kr)
 						}
 						if sink != nil {
 							sink(kr.Result)
 						}
+					}
+					if r.flush {
+						q.tracer.Flush(int64(r.now))
 					}
 				}
 				relPool.Put(rb[:0])
@@ -425,9 +437,13 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 							rep.Results = append(rep.Results, res)
 						}
 						q.telem.noteResult(res, postMark)
+						q.tracer.Emit(int64(res.EmitArrival), -1, res.Idx, int64(res.Start), int64(res.End), 0, res.Count, int64(res.Latency()))
 						if sink != nil {
 							sink(res)
 						}
+					}
+					if r.flush {
+						q.tracer.Flush(int64(r.now))
 					}
 				}
 				relPool.Put(rb[:0])

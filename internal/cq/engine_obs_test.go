@@ -20,7 +20,7 @@ import (
 func TestTelemetryMatchesReport(t *testing.T) {
 	tuples := gen.Sensor(20000, 11).Arrivals()
 	reg := obs.NewRegistry()
-	telem := NewTelemetry(reg, "obs-test")
+	telem := NewTelemetry(reg, "obs-test", window.Spec{Size: 10 * stream.Second, Slide: stream.Second})
 	handler := buffer.NewKSlack(500)
 
 	rep, err := New(stream.FromTuples(tuples)).
@@ -73,7 +73,7 @@ func TestTelemetryMatchesReport(t *testing.T) {
 func TestTelemetryShedCounting(t *testing.T) {
 	tuples := gen.Sensor(20000, 7).Arrivals()
 	reg := obs.NewRegistry()
-	telem := NewTelemetry(reg, "shed-test")
+	telem := NewTelemetry(reg, "shed-test", window.Spec{Size: 10 * stream.Second, Slide: stream.Second})
 
 	// A 1-slot ingest queue races the producer against the disorder
 	// stage; how many tuples shed is timing-dependent, but the invariant

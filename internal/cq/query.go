@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/metrics"
+	"repro/internal/obs/tracez"
 	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -47,6 +48,7 @@ type AggQuery struct {
 	keyedSink  func(window.KeyedResult)
 	discardRep bool
 	telem      *Telemetry
+	tracer     *tracez.Tracer
 
 	hasWindow bool
 }
@@ -203,6 +205,21 @@ func (q *AggQuery) Instrument(t *Telemetry) *AggQuery {
 	return q
 }
 
+// Trace attaches an event tracer (see internal/obs/tracez): both
+// executors mirror the query's lifecycle — source batches, buffer
+// inserts/releases/stragglers, slack adaptations, window emits with
+// per-window provenance, sheds, retries, breaker trips — into the
+// tracer's flight recorder. Events are stamped with stream time, so the
+// synchronous Run executor produces a bit-identical trace on every
+// replay of the same input (the simulation harness asserts this via
+// tracez.Digest). Adaptive handlers from internal/core additionally
+// report controller decisions and realized-quality samples, which drive
+// the tracer's quality-SLO watchdog when one is attached.
+func (q *AggQuery) Trace(tr *tracez.Tracer) *AggQuery {
+	q.tracer = tr
+	return q
+}
+
 // GroupBy partitions the window aggregate by tuple key (GROUP BY key):
 // each key gets independent windows sharing one event-time clock. Results
 // land in AggReport.Keyed instead of AggReport.Results. Run evaluates the
@@ -296,6 +313,7 @@ func (q *AggQuery) Run() (*AggReport, error) {
 	if handler == nil {
 		handler = buffer.Zero()
 	}
+	handler = q.traceHandler(handler)
 	rep := &AggReport{}
 
 	// The two operator shapes (plain and grouped) share the driving loop
@@ -316,6 +334,35 @@ func (q *AggQuery) Run() (*AggReport, error) {
 		flushOp = func(now stream.Time) { rep.Results = op.Flush(now, rep.Results) }
 		opStats = op.Stats
 		preFlushLen = func() int { return len(rep.Results) }
+	}
+	if q.tracer != nil {
+		// Wrap the hooks so every result appended by the operator is
+		// mirrored as a KindEmit event (with provenance) at its
+		// emission position. Shard is -1: the sync executor is
+		// unsharded.
+		emitNew := func(from int) {
+			if q.grouped {
+				for _, kr := range rep.Keyed[from:] {
+					q.tracer.Emit(int64(kr.EmitArrival), -1, kr.Idx, int64(kr.Start), int64(kr.End), kr.Key, kr.Count, int64(kr.Latency()))
+				}
+			} else {
+				for _, r := range rep.Results[from:] {
+					q.tracer.Emit(int64(r.EmitArrival), -1, r.Idx, int64(r.Start), int64(r.End), 0, r.Count, int64(r.Latency()))
+				}
+			}
+		}
+		innerObserve, innerFlush := observe, flushOp
+		observe = func(t stream.Tuple, now stream.Time) {
+			n := preFlushLen()
+			innerObserve(t, now)
+			emitNew(n)
+		}
+		flushOp = func(now stream.Time) {
+			n := preFlushLen()
+			innerFlush(now)
+			emitNew(n)
+			q.tracer.Flush(int64(now))
+		}
 	}
 
 	var disClock stream.Time
@@ -387,6 +434,21 @@ func (q *AggQuery) Run() (*AggReport, error) {
 	rep.Handler = handler.Stats()
 	rep.Op = opStats()
 	return rep, nil
+}
+
+// traceHandler hooks the disorder handler into the query's tracer:
+// handlers exposing TraceTo (the adaptive controllers in internal/core)
+// report their decisions directly, and the handler is wrapped so
+// inserts, releases, stragglers and slack changes become buffer events.
+// Returns h unchanged when the query is untraced.
+func (q *AggQuery) traceHandler(h buffer.Handler) buffer.Handler {
+	if q.tracer == nil {
+		return h
+	}
+	if qt, ok := h.(interface{ TraceTo(*tracez.Tracer) }); ok {
+		qt.TraceTo(q.tracer)
+	}
+	return buffer.NewTraced(h, q.tracer)
 }
 
 // transform applies filter and map; keep is false when the tuple is

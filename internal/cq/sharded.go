@@ -5,6 +5,8 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
+	"repro/internal/stream"
 	"repro/internal/window"
 )
 
@@ -58,6 +60,7 @@ type keyedShards struct {
 	out      []chan shardChunk
 	ops      []*window.KeyedOp
 	counters []*obs.Counter
+	tracer   *tracez.Tracer
 	wg       sync.WaitGroup
 	once     sync.Once
 }
@@ -69,6 +72,7 @@ func newKeyedShards(q *AggQuery, n int, fail func(error)) *keyedShards {
 		out:      make([]chan shardChunk, n),
 		ops:      make([]*window.KeyedOp, n),
 		counters: q.telem.shardCounters(n),
+		tracer:   q.tracer,
 	}
 	for s := 0; s < n; s++ {
 		ks.in[s] = make(chan []released, 1)
@@ -101,7 +105,9 @@ func (ks *keyedShards) worker(s int, fail func(error)) {
 			}
 		}()
 		owned := 0
+		var lastNow stream.Time
 		for _, r := range batch {
+			lastNow = r.now
 			switch {
 			case r.mark:
 				// Stream mark: a bookkeeping step for the merger only.
@@ -115,8 +121,11 @@ func (ks *keyedShards) worker(s int, fail func(error)) {
 			}
 			b.ends = append(b.ends, int32(len(b.results)))
 		}
-		if owned > 0 && ks.counters != nil {
-			ks.counters[s].Add(float64(owned))
+		if owned > 0 {
+			if ks.counters != nil {
+				ks.counters[s].Add(float64(owned))
+			}
+			ks.tracer.ShardBatch(int64(lastNow), s, owned)
 		}
 	}
 	for batch := range ks.in[s] {

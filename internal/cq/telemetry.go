@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"math"
 	"strconv"
 
 	"repro/internal/obs"
@@ -37,11 +38,43 @@ type Telemetry struct {
 	query obs.Label
 }
 
+// LatencyBucketsFor derives emission-latency histogram buckets from the
+// query's window geometry. Emission latency is bounded below by how
+// often results can appear (the slide) and in a healthy pipeline rarely
+// exceeds a few window lengths of slack, so a fixed generic ladder
+// either lumps everything into one bucket (long windows) or wastes
+// every bucket above the first (short ones). The ladder is geometric:
+// 20 buckets from slide/8 (min 1 stream-time unit) up to at least
+// 4×size, so both the sub-slide fast path and pathological stragglers
+// resolve.
+func LatencyBucketsFor(spec window.Spec) []float64 {
+	lo := float64(spec.Slide) / 8
+	if lo < 1 {
+		lo = 1
+	}
+	hi := 4 * float64(spec.Size)
+	if hi < 16*lo {
+		hi = 16 * lo
+	}
+	const n = 20
+	factor := math.Pow(hi/lo, 1/float64(n-1))
+	buckets := make([]float64, n)
+	v := lo
+	for i := range buckets {
+		buckets[i] = v
+		v *= factor
+	}
+	buckets[n-1] = hi // pin the top of the ladder against rounding drift
+	return buckets
+}
+
 // NewTelemetry registers the engine's pipeline metrics under the aq_
 // namespace, labelled with the query name, and returns the handle to
 // pass to AggQuery.Instrument. Registering the same query twice returns
-// instruments backed by the same series.
-func NewTelemetry(reg *obs.Registry, query string) *Telemetry {
+// instruments backed by the same series. The emission-latency histogram
+// buckets are derived from spec via LatencyBucketsFor, so the histogram
+// resolves around the query's own window geometry.
+func NewTelemetry(reg *obs.Registry, query string, spec window.Spec) *Telemetry {
 	q := obs.L("query", query)
 	stage := func(s string) []obs.Label { return []obs.Label{q, obs.L("stage", s)} }
 	return &Telemetry{
@@ -67,7 +100,7 @@ func NewTelemetry(reg *obs.Registry, query string) *Telemetry {
 			obs.ExponentialBuckets(1, 2, 11), q, obs.L("queue", "release")),
 		EmitLatency: reg.Histogram("aq_emit_latency_ms",
 			"Window result emission latency in stream-time ms (emission position minus window end).",
-			obs.LatencyBuckets(), q),
+			LatencyBucketsFor(spec), q),
 		reg:   reg,
 		query: q,
 	}

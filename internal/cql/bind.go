@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/gen"
+	"repro/internal/obs/tracez"
 	"repro/internal/sim"
 	"repro/internal/stream"
 )
@@ -76,6 +77,16 @@ func (q Query) Tuples(n int, seed uint64) ([]stream.Tuple, error) {
 // the requested handler, the requested window shape. KeepInput is always
 // set so callers can compute quality against the oracle.
 func (q Query) Run(n int, seed uint64) (*cq.AggReport, error) {
+	return q.RunTraced(n, seed, nil)
+}
+
+// RunTraced is Run with an optional tracez event tracer attached to the
+// execution: buffer activity, controller decisions and window emissions
+// land in tr's flight recorder (cqlsh -trace exports it as a Chrome
+// trace). A nil tr runs untraced. Note this is event tracing over the
+// pipeline, unrelated to the trace('file.csv') CQL source, which replays
+// a recorded tuple stream as input.
+func (q Query) RunTraced(n int, seed uint64, tr *tracez.Tracer) (*cq.AggReport, error) {
 	tuples, err := q.Tuples(n, seed)
 	if err != nil {
 		return nil, err
@@ -89,6 +100,9 @@ func (q Query) Run(n int, seed uint64) (*cq.AggReport, error) {
 		return nil, err
 	}
 	b := cq.New(src).Handle(h).Window(q.Spec, q.Agg).KeepInput()
+	if tr != nil {
+		b = b.Trace(tr)
+	}
 	if q.GroupBy {
 		b = b.GroupBy()
 	}

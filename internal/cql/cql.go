@@ -28,6 +28,12 @@
 //
 // Exactly one of QUALITY or HANDLER must be present. Keywords are
 // case-insensitive; identifiers are not.
+//
+// Naming note: trace('file.csv') is a *source* — it replays a recorded
+// tuple stream from disk as the query's input. It is unrelated to event
+// tracing (internal/obs/tracez, cqlsh -trace, /debug/aq/trace), which
+// records what the pipeline did while executing. docs/OBSERVABILITY.md
+// spells out the distinction.
 package cql
 
 import (
@@ -68,7 +74,15 @@ func (q Query) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SELECT %s(value) FROM ", q.AggName)
 	if q.TraceFile != "" {
-		fmt.Fprintf(&b, "trace(%q)", q.TraceFile)
+		// The lexer has no escape sequences, so quote with whichever
+		// delimiter the name doesn't contain (a parsed name can never
+		// contain the delimiter it was written with, so one always fits;
+		// %q would emit backslash escapes the parser cannot read back).
+		if strings.ContainsRune(q.TraceFile, '\'') {
+			fmt.Fprintf(&b, "trace(\"%s\")", q.TraceFile)
+		} else {
+			fmt.Fprintf(&b, "trace('%s')", q.TraceFile)
+		}
 	} else {
 		b.WriteString(q.Source)
 	}

@@ -21,7 +21,7 @@ func FuzzParse(f *testing.F) {
 		"SELECT min(value) FROM stock WINDOW 10s SLIDE 10s HANDLER none",
 		"SELECT distinct(value) FROM simnet WINDOW 2s SLIDE 1s HANDLER punctuated",
 		"select SUM(value) from sensor window 10s slide 1s quality 2%",
-		"SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s", // missing quality/handler
+		"SELECT sum(value) FROM sensor WINDOW 10s SLIDE 1s",            // missing quality/handler
 		"SELECT sum(value) FROM sensor WINDOW 1s SLIDE 10s QUALITY 1%", // slide > size
 		"",
 		"SELECT",

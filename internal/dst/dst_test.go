@@ -98,6 +98,9 @@ func TestDSTDeterminism(t *testing.T) {
 			if cd := DigestOutput(a.Conc); cd != DigestOutput(b.Conc) {
 				t.Errorf("concurrent output diverged across runs")
 			}
+			if a.TraceDigest == "" || a.TraceDigest != b.TraceDigest {
+				t.Errorf("event trace diverged: %.12s vs %.12s", a.TraceDigest, b.TraceDigest)
+			}
 		})
 	}
 }

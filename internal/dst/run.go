@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/obs/tracez"
 	"repro/internal/oracle"
 	"repro/internal/resilience"
 	"repro/internal/stream"
@@ -25,6 +26,7 @@ type Outcome struct {
 	Items        int    // transcript length (data + heartbeats)
 	ItemsDigest  string // sha256 of the event transcript
 	OutputDigest string // sha256 of the synchronous run's output
+	TraceDigest  string // tracez.Digest of the synchronous run's event trace
 	Sync         *cq.AggReport
 	Conc         *cq.AggReport
 	Failures     []string
@@ -105,9 +107,15 @@ func (p Plan) transcript() []stream.Item {
 	}
 }
 
-// runSync executes the plan's query synchronously over a fixed transcript.
-func (p Plan) runSync(items []stream.Item, h buffer.Handler) (*cq.AggReport, error) {
-	return p.build(stream.AsErrSource(stream.NewSliceSource(items)), h).Run()
+// runSync executes the plan's query synchronously over a fixed
+// transcript, optionally mirroring it into a flight recorder (tr may be
+// nil): the trace-determinism contract hashes the recorded events.
+func (p Plan) runSync(items []stream.Item, h buffer.Handler, tr *tracez.Tracer) (*cq.AggReport, error) {
+	q := p.build(stream.AsErrSource(stream.NewSliceSource(items)), h)
+	if tr != nil {
+		q.Trace(tr)
+	}
+	return q.Run()
 }
 
 // runConcurrent executes the plan's query through the goroutine pipeline
@@ -135,12 +143,14 @@ func Execute(p Plan) (*Outcome, error) {
 	o.Items = len(items)
 	o.ItemsDigest = DigestItems(items)
 
-	sync, err := p.runSync(items, p.handler())
+	rec := tracez.NewRecorder(1 << 15)
+	sync, err := p.runSync(items, p.handler(), tracez.New(rec, "dst"))
 	if err != nil {
 		return nil, fmt.Errorf("dst: sync run: %w", err)
 	}
 	o.Sync = sync
 	o.OutputDigest = DigestOutput(sync)
+	o.TraceDigest = tracez.Digest(rec.Events())
 
 	conc, err := p.runConcurrent()
 	if err != nil {
@@ -165,7 +175,7 @@ func Execute(p Plan) (*Outcome, error) {
 	}
 
 	// Metamorphic relation 1: infinite slack ⇒ exact results.
-	infK, err := p.runSync(items, buffer.NewKSlack(infiniteK))
+	infK, err := p.runSync(items, buffer.NewKSlack(infiniteK), nil)
 	if err != nil {
 		return nil, fmt.Errorf("dst: infinite-K run: %w", err)
 	}
@@ -186,7 +196,7 @@ func Execute(p Plan) (*Outcome, error) {
 	// Metamorphic relation 3: doubling θ must not increase emission
 	// latency — a looser quality bound licenses less slack, never more.
 	if p.qualityChecked() {
-		relaxed, err := p.runSync(items, p.aqHandler(2*p.Handler.Theta))
+		relaxed, err := p.runSync(items, p.aqHandler(2*p.Handler.Theta), nil)
 		if err != nil {
 			return nil, fmt.Errorf("dst: relaxed-θ run: %w", err)
 		}
@@ -220,11 +230,11 @@ func (p Plan) checkPermutation(o *Outcome, items []stream.Item) error {
 	if h <= 0 {
 		h = 500
 	}
-	base, err := p.runSync(tieItems, buffer.NewKSlack(h))
+	base, err := p.runSync(tieItems, buffer.NewKSlack(h), nil)
 	if err != nil {
 		return fmt.Errorf("dst: permutation base run: %w", err)
 	}
-	perm, err := p.runSync(oracle.PermuteEqualArrival(tieItems, p.Seed^0xa5a5a5a5), buffer.NewKSlack(h))
+	perm, err := p.runSync(oracle.PermuteEqualArrival(tieItems, p.Seed^0xa5a5a5a5), buffer.NewKSlack(h), nil)
 	if err != nil {
 		return fmt.Errorf("dst: permutation run: %w", err)
 	}

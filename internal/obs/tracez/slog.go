@@ -1,0 +1,47 @@
+package tracez
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler is a slog.Handler that mirrors every record into a flight
+// recorder before forwarding it to the wrapped handler. The mirrored
+// event keeps the level and message (attributes stay on the forwarded
+// record); its At is wall milliseconds, since log records happen outside
+// stream time. A post-incident flight-recorder dump therefore interleaves
+// what the pipeline did with what the server said about it.
+type LogHandler struct {
+	inner slog.Handler
+	rec   *Recorder
+}
+
+// NewLogHandler wraps inner so records are mirrored into rec.
+func NewLogHandler(inner slog.Handler, rec *Recorder) *LogHandler {
+	return &LogHandler{inner: inner, rec: rec}
+}
+
+// Enabled implements slog.Handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	h.rec.Record(Event{
+		At:   r.Time.UnixMilli(),
+		Kind: KindLog, Stage: StageLog,
+		Msg: r.Level.String() + " " + r.Message,
+	})
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs), rec: h.rec}
+}
+
+// WithGroup implements slog.Handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name), rec: h.rec}
+}

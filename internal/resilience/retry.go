@@ -33,6 +33,16 @@ type Retry struct {
 	// harness injects a virtual clock here so retry schedules replay
 	// identically without wall-clock delays.
 	Clock Clock
+
+	// OnRetry, when set, is invoked after each failed attempt that will
+	// be retried (attempt numbers start at 1). Used by the executors to
+	// mirror retries into the flight recorder; keep it cheap and
+	// non-blocking.
+	OnRetry func(attempt int, err error)
+
+	// OnBreakerTrip, when set, fires on each closed→open breaker
+	// transition observed by a RetryingSource.
+	OnBreakerTrip func()
 }
 
 func (r Retry) withDefaults() Retry {
@@ -266,12 +276,19 @@ func (s *RetryingSource) NextErr() (stream.Item, bool, error) {
 		}
 		last = err
 		if s.breaker != nil {
+			t0 := s.breaker.Trips()
 			s.breaker.Failure()
+			if s.retry.OnBreakerTrip != nil && s.breaker.Trips() > t0 {
+				s.retry.OnBreakerTrip()
+			}
 		}
 		if attempt >= s.retry.MaxAttempts {
 			return stream.Item{}, false, fmt.Errorf("resilience: source failed after %d attempts: %w", attempt, err)
 		}
 		s.retries.Add(1)
+		if s.retry.OnRetry != nil {
+			s.retry.OnRetry(attempt, err)
+		}
 		if serr := s.retry.Clock.Sleep(s.ctx, s.retry.backoff(attempt, s.rng)); serr != nil {
 			return stream.Item{}, false, serr
 		}
