@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-trace dst cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-trace bench-journal dst crash cover
 
-check: vet build race fuzz-short dst doccheck
+check: vet build race fuzz-short dst crash doccheck
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,15 @@ fuzz-short:
 DST_SEEDS ?= 12
 dst:
 	DST_SEEDS=$(DST_SEEDS) $(GO) test ./internal/dst -race -count=1
+
+# Crash-recovery sweep under the race detector: each seed runs a query to
+# a randomized crash point, optionally corrupts the journal tail, recovers
+# over the damaged directory, and checks the continuation + quality oracle
+# (see internal/dst/crash.go). DST_CRASH_SEEDS widens the matrix; nightly
+# runs use hundreds.
+DST_CRASH_SEEDS ?= 12
+crash:
+	DST_CRASH_SEEDS=$(DST_CRASH_SEEDS) $(GO) test ./internal/dst -race -count=1 -run '^TestCrash'
 
 # Coverage gate: per-package breakdown plus a repo-level floor. The floor
 # and a committed snapshot live in COVERAGE.md; raise the baseline when
@@ -85,6 +94,16 @@ bench-trace:
 	$(GO) test -bench 'BenchmarkTraceOverhead' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR5.json
+
+# PR6 performance gate: the ingest journal's cost on the batched
+# concurrent pipeline (off vs on, default batch size and snapshot
+# cadence) plus recovery speed. BENCH_PR6.json records both so the
+# durability overhead (EXPERIMENTS.md R18) can be re-verified on any
+# host.
+bench-journal:
+	$(GO) test -bench 'BenchmarkJournalOverhead|BenchmarkRecovery' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR6.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

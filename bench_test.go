@@ -13,6 +13,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/join"
@@ -358,4 +359,91 @@ func BenchmarkEstimatorMinK(b *testing.B) {
 			b.Fatal("negative K")
 		}
 	}
+}
+
+// BenchmarkJournalOverhead measures the cost of crash-consistent
+// durability on the batched concurrent engine: "off" is the plain
+// pipeline, "on" attaches a durable.QueryLog journaling every accepted
+// item with the default group-commit batch and a mid-run snapshot
+// cadence. The acceptance bar is <=10% throughput loss at the default
+// transport batch (EXPERIMENTS.md R18, BENCH_PR6.json).
+func BenchmarkJournalOverhead(b *testing.B) {
+	tuples := benchTuples(200000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	run := func(b *testing.B, dir string) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := cq.New(stream.FromTuples(tuples)).
+				Handle(buffer.NewKSlack(2*stream.Second)).
+				Window(spec, window.Sum()).
+				Batch(64)
+			if dir != "" {
+				log, err := durable.Open(durable.Options{
+					Dir:           fmt.Sprintf("%s/iter-%d", dir, i),
+					SnapshotEvery: 50000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q.Durable(cq.Durable{Log: log})
+				defer log.Close()
+			}
+			if _, err := q.RunConcurrent(context.Background(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, "") })
+	b.Run("on", func(b *testing.B) { run(b, b.TempDir()) })
+}
+
+// BenchmarkRecovery measures restart cost over a populated durable
+// directory: each iteration performs a full recovery — load the newest
+// snapshot, scan and repair the journal, replay the suffix through the
+// handler and operator — for a 200k-tuple stream with a snapshot covering
+// three quarters of it. The empty post-recovery source leaves the
+// directory untouched, so iterations are independent.
+func BenchmarkRecovery(b *testing.B) {
+	tuples := benchTuples(200000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: stream.Second}
+	dir := b.TempDir()
+	log, err := durable.Open(durable.Options{Dir: dir, SnapshotEvery: 150000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cq.New(stream.FromTuples(tuples)).
+		Handle(buffer.NewKSlack(2*stream.Second)).
+		Window(spec, window.Sum()).
+		Durable(cq.Durable{Log: log}).
+		Run(); err != nil {
+		b.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var replayed int
+	for i := 0; i < b.N; i++ {
+		l, err := durable.Open(durable.Options{Dir: dir, SnapshotEvery: 150000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := cq.New(stream.NewSliceSource(nil)).
+			Handle(buffer.NewKSlack(2*stream.Second)).
+			Window(spec, window.Sum()).
+			Durable(cq.Durable{Log: l}).
+			Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Recovery == nil {
+			b.Fatal("no recovery performed")
+		}
+		replayed = rep.Recovery.ReplayedItems
+		l.Close()
+	}
+	b.ReportMetric(float64(replayed), "replayed-items")
 }

@@ -59,14 +59,17 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/obs/tracez"
@@ -89,6 +92,14 @@ type appConfig struct {
 	traceBuf  int          // flight-recorder ring size per query (events)
 	traceDump string       // directory for automatic flight-recorder dumps; empty = off
 	log       *slog.Logger // base structured logger; nil = stderr text handler
+
+	// durableDir enables crash-consistent durability for non-grouped
+	// queries: each gets a journal+snapshot directory under it and recovers
+	// from prior state at startup. snapshotEvery is the snapshot cadence in
+	// accepted items (0 = the durable package default behaviour: journal
+	// only).
+	durableDir    string
+	snapshotEvery int64
 }
 
 // app ties the HTTP state, the query runners and their feed loops
@@ -99,10 +110,11 @@ type app struct {
 	log     *slog.Logger
 	runners []*queryRunner
 	loads   []func(seed uint64) gen.Config
+	dlogs   []*durable.QueryLog
 	wg      sync.WaitGroup
 }
 
-func newApp(cfg appConfig) *app {
+func newApp(cfg appConfig) (*app, error) {
 	if cfg.log == nil {
 		cfg.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
@@ -160,6 +172,28 @@ func newApp(cfg appConfig) *app {
 		if a.srv.reg != nil {
 			q.instrument(a.srv.reg)
 		}
+		if cfg.durableDir != "" {
+			if sp.grouped {
+				q.log.Warn("durability is not supported for grouped queries; running without")
+			} else {
+				opts := durable.Options{
+					Dir:           filepath.Join(cfg.durableDir, sp.name),
+					CommitEvery:   cfg.batch,
+					SnapshotEvery: cfg.snapshotEvery,
+				}
+				if a.srv.reg != nil {
+					opts.Metrics = durable.NewMetrics(a.srv.reg, obs.L("query", sp.name))
+				}
+				dlog, err := durable.Open(opts)
+				if err != nil {
+					return nil, fmt.Errorf("open durable dir for %s: %w", sp.name, err)
+				}
+				if err := q.attachDurable(dlog); err != nil {
+					return nil, fmt.Errorf("recover %s: %w", sp.name, err)
+				}
+				a.dlogs = append(a.dlogs, dlog)
+			}
+		}
 		if sp.grouped {
 			q.startGrouped(cfg.ingestCap, cfg.policy)
 		} else {
@@ -169,7 +203,7 @@ func newApp(cfg appConfig) *app {
 		a.runners = append(a.runners, q)
 		a.loads = append(a.loads, sp.load)
 	}
-	return a
+	return a, nil
 }
 
 // startFeeds launches one feed loop per query; the loops stop when ctx is
@@ -196,6 +230,11 @@ func (a *app) drain() {
 	for _, q := range a.runners {
 		q.finish()
 	}
+	for _, l := range a.dlogs {
+		if err := l.Close(); err != nil {
+			a.log.Error("closing durable log", "err", err)
+		}
+	}
 }
 
 func main() {
@@ -210,6 +249,8 @@ func main() {
 	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
 	traceBuf := flag.Int("trace-buf", tracez.DefaultRecorderSize, "flight-recorder ring size per query, in events")
 	traceDump := flag.String("trace-dump", "", "directory for automatic flight-recorder dumps (panic, breaker trip, quality violation); empty = off")
+	durableDir := flag.String("durable-dir", "", "directory for crash-consistent journals+snapshots, one subdirectory per non-grouped query; empty = off")
+	snapshotInterval := flag.Int64("snapshot-interval", 50000, "snapshot cadence in accepted items per query (with -durable-dir); 0 = journal only")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -227,12 +268,16 @@ func main() {
 	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
 		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
-		traceBuf: *traceBuf, traceDump: *traceDump, log: logger}
+		traceBuf: *traceBuf, traceDump: *traceDump, log: logger,
+		durableDir: *durableDir, snapshotEvery: *snapshotInterval}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	a := newApp(cfg)
+	a, err := newApp(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	a.startFeeds(ctx)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: a.srv.handler()}
@@ -280,7 +325,9 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 		retry.OnRetry = func(attempt int, err error) { tr.Retry(0, attempt) }
 		retry.OnBreakerTrip = func() { tr.BreakerTrip(0) }
 	}
-	var base stream.Time
+	// After a durable recovery the rebase resumes past the dead process's
+	// event-time horizon instead of rewinding the synthetic clock to zero.
+	base := q.resumeBase()
 	for loop := uint64(0); ctx.Err() == nil; loop++ {
 		tuples := load(seed + loop).Arrivals()
 		if len(tuples) == 0 {
@@ -356,6 +403,7 @@ func feedLoop(ctx context.Context, q *queryRunner, load func(seed uint64) gen.Co
 			q.setHealth(healthFeeding)
 		}
 		base = maxTS + stream.Second
+		q.noteRebase(base)
 		q.log.Info("segment finished", "segment", loop, "items", sent, "rebase", int64(base))
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/tracez"
@@ -78,6 +79,13 @@ type queryRunner struct {
 	// the flight recorder when tracing is on. Defaults to slog.Default.
 	log *slog.Logger
 
+	// Durability (nil/zero without -durable-dir; see durable.go). feedBase
+	// is written by the feeder at segment boundaries and read by the
+	// snapshot writer, hence atomic.
+	dlog     *durable.QueryLog
+	recovery *recoveryStatus
+	feedBase feedBaseVar
+
 	mu      sync.Mutex
 	handler *core.AQKSlack
 	// buf is the disorder handler the write path drives: q.handler
@@ -96,6 +104,13 @@ type queryRunner struct {
 	latency    *stats.P2 // streaming p95 of result latency
 	health     string
 	done       bool
+	// Durability state under mu: replaying gates journaling during
+	// recovery replay; the floor suppresses duplicate re-emissions.
+	replaying   bool
+	emitFloor   int64
+	haveFloor   bool
+	suppressed  int
+	journalErrs int64
 
 	// emitLatency is the push-side latency histogram; nil without -obs
 	// (see obs.go for the rest of the per-query instruments).
@@ -269,6 +284,7 @@ func (q *queryRunner) processBatch(items []stream.Item) {
 	for _, it := range items {
 		q.processLocked(it)
 	}
+	q.durableTickLocked()
 }
 
 // processLocked applies one item to the operator state; q.mu must be
@@ -289,6 +305,7 @@ func (q *queryRunner) processLocked(it stream.Item) {
 	if q.panicOn != nil && q.panicOn(it) {
 		panic("injected processing fault")
 	}
+	q.journalLocked(it)
 	if !it.Heartbeat {
 		q.tuplesIn++
 		if it.Tuple.Arrival > q.now {
@@ -303,6 +320,7 @@ func (q *queryRunner) processLocked(it stream.Item) {
 		q.resScratch = q.op.Observe(t, q.now, q.resScratch)
 	}
 	q.absorb(q.resScratch)
+	q.noteProgressLocked()
 }
 
 // finish drains the ingest queue, flushes the pipeline and marks the
@@ -330,6 +348,13 @@ func (q *queryRunner) finish() {
 		}
 		q.resScratch = q.op.Flush(q.now, q.resScratch)
 		q.absorb(q.resScratch)
+		// Flush-forced emissions are deliberately not journaled as progress:
+		// a continued stream re-emits those windows with their full content.
+		if q.dlog != nil {
+			if err := q.dlog.Commit(); err != nil {
+				q.log.Error("journal commit on finish failed", "err", err)
+			}
+		}
 		q.done = true
 		q.health = healthDone
 	})
@@ -344,6 +369,9 @@ func (q *queryRunner) absorb(res []window.Result) {
 // absorbOne folds one emitted result into the ring/latency state; q.mu
 // must be held.
 func (q *queryRunner) absorbOne(r window.Result) {
+	if q.suppressLocked(r.Idx, r.Refinement) {
+		return
+	}
 	q.emitted++
 	q.latency.Add(float64(r.Latency()))
 	q.observeLatency(float64(r.Latency()))
@@ -433,6 +461,10 @@ type status struct {
 	Done           bool    `json:"done"`
 	Grouped        bool    `json:"grouped,omitempty"`
 	Shards         int     `json:"shards,omitempty"`
+	// Durability (present only with -durable-dir on a non-grouped query).
+	Durable     bool            `json:"durable,omitempty"`
+	JournalErrs int64           `json:"journalErrors,omitempty"`
+	Recovery    *recoveryStatus `json:"recovery,omitempty"`
 }
 
 func (q *queryRunner) status() status {
@@ -454,6 +486,9 @@ func (q *queryRunner) status() status {
 		Done:        q.done,
 		Grouped:     q.grouped,
 		Shards:      q.shardCount,
+		Durable:     q.dlog != nil,
+		JournalErrs: q.journalErrs,
+		Recovery:    q.recovery,
 	}
 	if q.handler != nil {
 		qs := q.handler.Quality()
@@ -540,6 +575,10 @@ type readiness struct {
 	// A degraded state, not an unready one: the queries still serve,
 	// just honestly worse.
 	QualityViolations []string `json:"qualityViolations,omitempty"`
+	// Recovered reports, per durable query that found prior state at
+	// startup, what its recovery did — proof the restart resumed instead
+	// of starting over.
+	Recovered map[string]*recoveryStatus `json:"recovered,omitempty"`
 }
 
 // readiness reports per-query health. The server is ready when it is not
@@ -562,6 +601,12 @@ func (s *server) readiness() readiness {
 		}
 		if q.watchdog.InViolation() {
 			r.QualityViolations = append(r.QualityViolations, n)
+		}
+		if q.recovery != nil {
+			if r.Recovered == nil {
+				r.Recovered = make(map[string]*recoveryStatus)
+			}
+			r.Recovered[n] = q.recovery
 		}
 	}
 	return r

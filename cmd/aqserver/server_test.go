@@ -206,8 +206,11 @@ func TestWorkerShedPolicies(t *testing.T) {
 // (what SIGTERM does in main) must stop the loops, flush every runner's
 // windows via finish(), and flip /readyz to 503 with per-query health.
 func TestAppDrain(t *testing.T) {
-	a := newApp(appConfig{n: 5000, rate: 2_000_000, ingestCap: 64, policy: resilience.Block,
+	a, err := newApp(appConfig{n: 5000, rate: 2_000_000, ingestCap: 64, policy: resilience.Block,
 		chaos: resilience.Chaos{ErrorRate: 0.001, DupRate: 0.001}, chaosOn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(a.srv.handler())
 	defer ts.Close()
 

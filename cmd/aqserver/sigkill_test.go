@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSIGKILLRecovery is the chaos integration test: a real aqserver child
+// process with -durable-dir is killed with SIGKILL mid-stream — no drain,
+// no flush, buffered journal tail lost — and a second child over the same
+// directory must come up recovered: /readyz lists the recovery, the
+// durable queries resume ingesting, and the adaptive controller (its state
+// restored) keeps the realized error under θ.
+func TestSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "aqserver")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building aqserver: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	addr := freeAddr(t)
+	args := []string{
+		"-addr", addr, "-rate", "500000", "-n", "20000",
+		"-durable-dir", dir, "-snapshot-interval", "5000", "-batch", "16",
+	}
+
+	// Phase 1: run until the first query has ingested well past one
+	// snapshot interval, then SIGKILL.
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	var killedAt int64
+	waitFor(t, 30*time.Second, "first child to ingest 12000 tuples", func() bool {
+		st, err := queryStatus(addr, "temp-avg-10s")
+		if err != nil {
+			return false
+		}
+		killedAt = st.TuplesIn
+		return st.TuplesIn > 12000 && st.Durable
+	})
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Phase 2: restart over the same durable directory.
+	cmd2 := exec.Command(bin, args...)
+	cmd2.Stderr = os.Stderr
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+
+	var rd readiness
+	waitFor(t, 30*time.Second, "restarted child to serve /readyz", func() bool {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return json.NewDecoder(resp.Body).Decode(&rd) == nil && resp.StatusCode == http.StatusOK
+	})
+	rec, ok := rd.Recovered["temp-avg-10s"]
+	if !ok || rec == nil {
+		t.Fatalf("/readyz does not report a recovery for temp-avg-10s after SIGKILL: %+v", rd)
+	}
+	if rec.DurableItems == 0 {
+		t.Fatal("recovery preserved zero items across SIGKILL")
+	}
+	if !rec.FromSnapshot && rec.ReplayedItems == 0 {
+		t.Fatal("recovery neither restored a snapshot nor replayed the journal")
+	}
+	// The journal group-commits every -batch items, so at most a small tail
+	// is lost to the SIGKILL; the durable prefix must reach (almost) the
+	// kill point. killedAt lags the true count by one poll interval, so
+	// only assert the snapshot-interval bound the issue demands.
+	if int64(rec.DurableItems) < killedAt-5000 {
+		t.Errorf("durable prefix %d items, killed at >=%d: lost more than one snapshot interval",
+			rec.DurableItems, killedAt)
+	}
+
+	// The recovered query keeps serving and re-honors θ: the controller
+	// state came back with the snapshot, so after fresh windows emit, the
+	// realized error EWMA must sit within the declared bound.
+	waitFor(t, 30*time.Second, "recovered query to honor θ on fresh windows", func() bool {
+		st, err := queryStatus(addr, "temp-avg-10s")
+		if err != nil {
+			return false
+		}
+		return st.TuplesIn > int64(rec.DurableItems)+5000 &&
+			st.Windows > 10 &&
+			st.RealizedErr <= st.Theta &&
+			st.Recovery != nil
+	})
+}
+
+// queryStatus fetches one query's status JSON from a live child.
+func queryStatus(addr, name string) (*status, error) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/queries/%s", addr, name))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// freeAddr reserves a listen address for a child process. The tiny window
+// between Close and the child's bind is acceptable in tests.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}

@@ -1,0 +1,85 @@
+package buffer
+
+import (
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// This file exports and restores handler state for crash-consistent
+// snapshots (internal/durable). Restoring a state into a freshly
+// constructed handler of the same kind and feeding it the same item suffix
+// yields bit-identical releases to the uninterrupted run.
+
+// SlackState is the exported state of the shared K-slack mechanism. Heap is
+// the raw backing array of the tuple min-heap: any valid heap array is
+// restored verbatim, so pop order — and therefore release order — is
+// exactly preserved.
+type SlackState struct {
+	Heap        []stream.Tuple `json:"heap,omitempty"`
+	Clock       stream.Time    `json:"clock"`
+	Started     bool           `json:"started"`
+	K           stream.Time    `json:"k"`
+	MaxReleased stream.Time    `json:"maxReleased"`
+	HasReleased bool           `json:"hasReleased"`
+	Stats       Stats          `json:"stats"`
+}
+
+func (b *slackBuffer) slackState() SlackState {
+	heap := make([]stream.Tuple, len(b.heap))
+	copy(heap, b.heap)
+	return SlackState{
+		Heap:        heap,
+		Clock:       b.clock,
+		Started:     b.started,
+		K:           b.k,
+		MaxReleased: b.maxReleased,
+		HasReleased: b.hasReleased,
+		Stats:       b.stats,
+	}
+}
+
+func (b *slackBuffer) restoreSlack(st SlackState) {
+	b.heap = append(b.heap[:0], st.Heap...)
+	b.clock = st.Clock
+	b.started = st.Started
+	b.k = st.K
+	b.maxReleased = st.MaxReleased
+	b.hasReleased = st.HasReleased
+	b.stats = st.Stats
+}
+
+// State exports the buffer state.
+func (b *KSlack) State() SlackState { return b.slackState() }
+
+// Restore sets the buffer to a previously exported state.
+func (b *KSlack) Restore(st SlackState) { b.restoreSlack(st) }
+
+// State exports the buffer state (K carries the max lateness seen so far).
+func (b *MaxSlack) State() SlackState { return b.slackState() }
+
+// Restore sets the buffer to a previously exported state.
+func (b *MaxSlack) Restore(st SlackState) { b.restoreSlack(st) }
+
+// PercentileState is the exported state of a Percentile buffer. The target
+// percentile and update cadence are construction-time configuration.
+type PercentileState struct {
+	Slack       SlackState    `json:"slack"`
+	Sketch      stats.GKState `json:"sketch"`
+	SinceUpdate int64         `json:"sinceUpdate"`
+}
+
+// State exports the buffer state.
+func (b *Percentile) State() PercentileState {
+	return PercentileState{
+		Slack:       b.slackState(),
+		Sketch:      b.sketch.State(),
+		SinceUpdate: b.sinceUpdate,
+	}
+}
+
+// Restore sets the buffer to a previously exported state.
+func (b *Percentile) Restore(st PercentileState) {
+	b.restoreSlack(st.Slack)
+	b.sketch.Restore(st.Sketch)
+	b.sinceUpdate = st.SinceUpdate
+}

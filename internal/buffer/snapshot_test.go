@@ -1,0 +1,124 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// disorderedItems builds a deterministic out-of-order item stream with
+// occasional heartbeats, seeded so tests are reproducible.
+func disorderedItems(seed uint64, n int) []stream.Item {
+	rng := stats.NewRNG(seed)
+	items := make([]stream.Item, 0, n)
+	var maxTS stream.Time
+	for i := 0; i < n; i++ {
+		ts := stream.Time(i) * 10
+		delay := stream.Time(rng.Intn(200))
+		if ts > maxTS {
+			maxTS = ts
+		}
+		items = append(items, stream.DataItem(stream.Tuple{
+			TS:      ts,
+			Arrival: ts + delay,
+			Seq:     uint64(i),
+			Value:   rng.Float64() * 100,
+		}))
+		if i%37 == 0 {
+			items = append(items, stream.HeartbeatItem(maxTS))
+		}
+	}
+	// Arrival order is what the handler sees.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0; j-- {
+			a, b := items[j-1], items[j]
+			if a.Heartbeat || b.Heartbeat {
+				break
+			}
+			if a.Tuple.Arrival > b.Tuple.Arrival {
+				items[j-1], items[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return items
+}
+
+// runContinuation snapshots handler a mid-stream via save, restores into b,
+// then feeds the identical suffix to both and requires identical releases.
+func runContinuation(t *testing.T, a, b Handler, save func()) {
+	t.Helper()
+	items := disorderedItems(42, 600)
+	cut := len(items) / 2
+	var scratch []stream.Tuple
+	for _, it := range items[:cut] {
+		scratch = a.Insert(it, scratch[:0])
+	}
+	save()
+
+	var relA, relB []stream.Tuple
+	for _, it := range items[cut:] {
+		relA = a.Insert(it, relA)
+		relB = b.Insert(it, relB)
+	}
+	relA = a.Flush(relA)
+	relB = b.Flush(relB)
+
+	if len(relA) != len(relB) {
+		t.Fatalf("release count diverged: %d vs %d", len(relA), len(relB))
+	}
+	for i := range relA {
+		if relA[i] != relB[i] {
+			t.Fatalf("release %d diverged: %v vs %v", i, relA[i], relB[i])
+		}
+	}
+	if a.K() != b.K() || a.Len() != b.Len() {
+		t.Fatalf("handler shape diverged: K=%d/%d len=%d/%d", a.K(), b.K(), a.Len(), b.Len())
+	}
+	// Suffix-only stats must match; the restored handler additionally
+	// carries the prefix counters, so totals must match too.
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+func TestKSlackStateContinuation(t *testing.T) {
+	a := NewKSlack(150)
+	b := NewKSlack(150)
+	runContinuation(t, a, b, func() {
+		a.SetK(90) // snapshot must carry a runtime K change, not the ctor K
+		st := a.State()
+		b.Restore(st)
+	})
+}
+
+func TestMaxSlackStateContinuation(t *testing.T) {
+	a := NewMaxSlack()
+	b := NewMaxSlack()
+	runContinuation(t, a, b, func() { b.Restore(a.State()) })
+}
+
+func TestPercentileStateContinuation(t *testing.T) {
+	a := NewPercentile(0.95, 50)
+	b := NewPercentile(0.95, 50)
+	runContinuation(t, a, b, func() { b.Restore(a.State()) })
+}
+
+func TestSlackStateHeapIsCopied(t *testing.T) {
+	a := NewKSlack(1 << 30) // never release: everything stays buffered
+	var scratch []stream.Tuple
+	for _, it := range disorderedItems(7, 50) {
+		scratch = a.Insert(it, scratch[:0])
+	}
+	st := a.State()
+	if len(st.Heap) != a.Len() {
+		t.Fatalf("heap snapshot size %d != buffered %d", len(st.Heap), a.Len())
+	}
+	mutated := st.Heap[0]
+	a.Flush(nil) // drains the live heap; snapshot must be unaffected
+	if st.Heap[0] != mutated {
+		t.Fatalf("snapshot aliases live heap storage")
+	}
+}

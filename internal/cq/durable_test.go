@@ -1,0 +1,349 @@
+package cq
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// errCrash is the synthetic process death used by the crash tests: the
+// source fails at a chosen position and the journal is abandoned
+// (uncommitted writes dropped), exactly what a SIGKILL leaves behind.
+var errCrash = errors.New("injected crash")
+
+// crashSource yields items[:n] then fails.
+type crashSource struct {
+	items []stream.Item
+	n     int
+	pos   int
+}
+
+func (s *crashSource) NextErr() (stream.Item, bool, error) {
+	if s.pos >= s.n {
+		return stream.Item{}, false, errCrash
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it, true, nil
+}
+
+func sensorItems(n int, seed uint64) []stream.Item {
+	return stream.Collect(gen.Sensor(n, seed).Source())
+}
+
+// emitFloorPrefix counts the leading results of ref already covered by the
+// durable emission floor.
+func emitFloorPrefix(ref []window.Result, rec *RecoveryInfo) int {
+	if rec == nil || !rec.HaveEmit {
+		return 0
+	}
+	k := 0
+	for _, r := range ref {
+		if !r.Refinement && r.Idx < rec.EmitProgress {
+			k++
+		}
+	}
+	return k
+}
+
+func mustOpenLog(t *testing.T, opts durable.Options) *durable.QueryLog {
+	t.Helper()
+	l, err := durable.Open(opts)
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	return l
+}
+
+// A durable run with no prior state must produce exactly the output of a
+// plain run, while leaving journal segments and snapshots behind.
+func TestDurableFreshRunMatchesPlain(t *testing.T) {
+	items := sensorItems(4000, 11)
+	mk := func() *AggQuery {
+		return New(stream.NewSliceSource(items)).
+			Handle(buffer.NewKSlack(2000)).
+			Window(testSpec, window.Sum())
+	}
+	plain, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	log := mustOpenLog(t, durable.Options{Dir: dir, SnapshotEvery: 1000})
+	rep, err := mk().Durable(Durable{Log: log}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recovery != nil {
+		t.Fatal("fresh durable run reported a recovery")
+	}
+	if !reflect.DeepEqual(rep.Results, plain.Results) {
+		t.Fatalf("durable results differ from plain run (%d vs %d)", len(rep.Results), len(plain.Results))
+	}
+	if rep.Handler != plain.Handler || rep.Op != plain.Op || rep.PreFlush != plain.PreFlush {
+		t.Fatal("durable stats differ from plain run")
+	}
+	if log.Items() != uint64(len(items)) {
+		t.Fatalf("journal items = %d, want %d", log.Items(), len(items))
+	}
+
+	// Everything is journaled and snapshotted: a fresh process recovers it.
+	log2 := mustOpenLog(t, durable.Options{Dir: dir})
+	rec := log2.Recovery()
+	log2.Close()
+	if rec == nil || !rec.Recovered {
+		t.Fatal("completed run left nothing to recover")
+	}
+	if rec.Snapshot == nil {
+		t.Fatal("no snapshot written at SnapshotEvery cadence")
+	}
+	if rec.Items != uint64(len(items)) {
+		t.Fatalf("recovered items = %d, want %d", rec.Items, len(items))
+	}
+}
+
+// Crash mid-stream with every item committed (CommitEvery 1): the recovered
+// run, fed the remaining input, must continue the uninterrupted run exactly
+// — same results past the durable emission floor, same stats.
+func TestDurableRunCrashRecovery(t *testing.T) {
+	items := sensorItems(3000, 23)
+	full, err := New(stream.NewSliceSource(items)).
+		Handle(buffer.NewKSlack(2000)).
+		Window(testSpec, window.Sum()).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []int{211, 1500, 2765} {
+		dir := t.TempDir()
+		log := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 400})
+		q := NewFallible(&crashSource{items: items, n: c}).
+			Handle(buffer.NewKSlack(2000)).
+			Window(testSpec, window.Sum())
+		if _, err := q.Durable(Durable{Log: log}).Run(); !errors.Is(err, errCrash) {
+			t.Fatalf("crash at %d: err = %v", c, err)
+		}
+		log.Abandon()
+
+		log2 := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 400})
+		rep, err := New(stream.NewSliceSource(items[c:])).
+			Handle(buffer.NewKSlack(2000)).
+			Window(testSpec, window.Sum()).
+			Durable(Durable{Log: log2}).
+			Run()
+		if err != nil {
+			t.Fatalf("recovered run at %d: %v", c, err)
+		}
+		log2.Close()
+
+		if rep.Recovery == nil {
+			t.Fatalf("crash at %d: no recovery info", c)
+		}
+		if got := rep.Recovery.ReplayedItems + int(0); rep.Recovery.FromSnapshot {
+			// With a snapshot the replay covers only the suffix past it.
+			if got >= c && c > 400 {
+				t.Fatalf("crash at %d: snapshot did not shorten replay (%d)", c, got)
+			}
+		} else if rep.Recovery.ReplayedItems != c {
+			t.Fatalf("crash at %d: journal-only replay of %d items", c, rep.Recovery.ReplayedItems)
+		}
+
+		k := emitFloorPrefix(full.Results, rep.Recovery)
+		if !reflect.DeepEqual(rep.Results, full.Results[k:]) {
+			t.Fatalf("crash at %d: recovered results (%d) != uninterrupted suffix (%d, floor %d)",
+				c, len(rep.Results), len(full.Results)-k, k)
+		}
+		if rep.Handler != full.Handler {
+			t.Fatalf("crash at %d: handler stats diverged:\n got %+v\nwant %+v", c, rep.Handler, full.Handler)
+		}
+		if rep.Op != full.Op {
+			t.Fatalf("crash at %d: op stats diverged:\n got %+v\nwant %+v", c, rep.Op, full.Op)
+		}
+		if rep.Recovery.HaveEmit && rep.PreFlush != full.PreFlush-k {
+			t.Fatalf("crash at %d: PreFlush %d, want %d", c, rep.PreFlush, full.PreFlush-k)
+		}
+		if rep.Disorder != full.Disorder {
+			t.Fatalf("crash at %d: disorder stats diverged", c)
+		}
+	}
+}
+
+// The same crash-and-recover contract must hold for the adaptive
+// quality-driven handler: controller, estimator and RNG state all resume
+// exactly, so the recovered run's slack decisions match the uninterrupted
+// run's.
+func TestDurableCrashRecoveryAdaptiveHandler(t *testing.T) {
+	items := sensorItems(6000, 7)
+	mkHandler := func() *core.AQKSlack {
+		return core.NewAQKSlack(core.Config{
+			Theta:        0.05,
+			Spec:         testSpec,
+			Agg:          window.Sum(),
+			WarmupTuples: 200,
+			Estimator:    core.EstimatorConfig{Seed: 99, ReservoirSize: 128, MCTrials: 4},
+		})
+	}
+	full, err := New(stream.NewSliceSource(items)).
+		Handle(mkHandler()).
+		Window(testSpec, window.Sum()).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []int{1234, 4321} {
+		dir := t.TempDir()
+		log := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 500})
+		q := NewFallible(&crashSource{items: items, n: c}).
+			Handle(mkHandler()).Window(testSpec, window.Sum())
+		if _, err := q.Durable(Durable{Log: log}).Run(); !errors.Is(err, errCrash) {
+			t.Fatalf("crash at %d: err = %v", c, err)
+		}
+		log.Abandon()
+
+		log2 := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 500})
+		rep, err := New(stream.NewSliceSource(items[c:])).
+			Handle(mkHandler()).
+			Window(testSpec, window.Sum()).
+			Durable(Durable{Log: log2}).
+			Run()
+		if err != nil {
+			t.Fatalf("recovered run at %d: %v", c, err)
+		}
+		log2.Close()
+
+		k := emitFloorPrefix(full.Results, rep.Recovery)
+		if !reflect.DeepEqual(rep.Results, full.Results[k:]) {
+			t.Fatalf("crash at %d: adaptive recovered results diverge (%d vs %d past floor %d)",
+				c, len(rep.Results), len(full.Results)-k, k)
+		}
+		if rep.Handler != full.Handler {
+			t.Fatalf("crash at %d: adaptive handler stats diverged:\n got %+v\nwant %+v", c, rep.Handler, full.Handler)
+		}
+	}
+}
+
+// RunConcurrent: crash the pipeline mid-stream, recover with a second
+// RunConcurrent. CommitEvery 1 pins the durable prefix to the crash point,
+// so the recovered output must equal the uninterrupted run past the floor.
+func TestDurableRunConcurrentCrashRecovery(t *testing.T) {
+	items := sensorItems(3000, 29)
+	full, err := New(stream.NewSliceSource(items)).
+		Handle(buffer.NewKSlack(2000)).
+		Window(testSpec, window.Sum()).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []int{500, 2200} {
+		dir := t.TempDir()
+		log := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 300})
+		q := NewFallible(&crashSource{items: items, n: c}).
+			Handle(buffer.NewKSlack(2000)).Window(testSpec, window.Sum())
+		if _, err := q.Durable(Durable{Log: log}).RunConcurrent(context.Background(), nil); !errors.Is(err, errCrash) {
+			t.Fatalf("crash at %d: err = %v", c, err)
+		}
+		log.Abandon()
+
+		log2 := mustOpenLog(t, durable.Options{Dir: dir, CommitEvery: 1, SnapshotEvery: 300})
+		var sunk []window.Result
+		rep, err := New(stream.NewSliceSource(items[c:])).
+			Handle(buffer.NewKSlack(2000)).
+			Window(testSpec, window.Sum()).
+			Durable(Durable{Log: log2}).
+			RunConcurrent(context.Background(), func(r window.Result) { sunk = append(sunk, r) })
+		if err != nil {
+			t.Fatalf("recovered run at %d: %v", c, err)
+		}
+		log2.Close()
+
+		if rep.Recovery == nil {
+			t.Fatalf("crash at %d: no recovery info", c)
+		}
+		k := emitFloorPrefix(full.Results, rep.Recovery)
+		if !reflect.DeepEqual(rep.Results, full.Results[k:]) {
+			t.Fatalf("crash at %d: concurrent recovered results diverge (%d vs %d past floor %d)",
+				c, len(rep.Results), len(full.Results)-k, k)
+		}
+		if !reflect.DeepEqual(sunk, rep.Results) {
+			t.Fatalf("crash at %d: sink saw %d results, report has %d", c, len(sunk), len(rep.Results))
+		}
+		if rep.Handler != full.Handler {
+			t.Fatalf("crash at %d: handler stats diverged", c)
+		}
+	}
+}
+
+// Clean stop + continue: complete a durable RunConcurrent over a prefix,
+// then resume a second process over the remainder. The second run must
+// replay into the uninterrupted run's trajectory.
+func TestDurableStopAndContinueConcurrent(t *testing.T) {
+	items := sensorItems(2400, 31)
+	cut := 1500
+	full, err := New(stream.NewSliceSource(items)).
+		Handle(buffer.NewKSlack(2000)).
+		Window(testSpec, window.Sum()).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	log := mustOpenLog(t, durable.Options{Dir: dir, SnapshotEvery: 400})
+	if _, err := New(stream.NewSliceSource(items[:cut])).
+		Handle(buffer.NewKSlack(2000)).
+		Window(testSpec, window.Sum()).
+		Durable(Durable{Log: log}).
+		RunConcurrent(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2 := mustOpenLog(t, durable.Options{Dir: dir, SnapshotEvery: 400})
+	rep, err := New(stream.NewSliceSource(items[cut:])).
+		Handle(buffer.NewKSlack(2000)).
+		Window(testSpec, window.Sum()).
+		Durable(Durable{Log: log2}).
+		RunConcurrent(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+
+	if rep.Recovery == nil || !rep.Recovery.FromSnapshot {
+		t.Fatalf("second run did not recover from a snapshot: %+v", rep.Recovery)
+	}
+	k := emitFloorPrefix(full.Results, rep.Recovery)
+	if !reflect.DeepEqual(rep.Results, full.Results[k:]) {
+		t.Fatalf("continuation results diverge (%d vs %d past floor %d)",
+			len(rep.Results), len(full.Results)-k, k)
+	}
+}
+
+func TestDurableValidate(t *testing.T) {
+	src := gen.Sensor(10, 1).Source()
+	if _, err := New(src).Window(testSpec, window.Sum()).GroupBy().
+		Durable(Durable{Log: &durable.QueryLog{}}).Run(); err == nil {
+		t.Fatal("grouped durable query accepted")
+	}
+	if _, err := New(src).Window(testSpec, window.Sum()).
+		Durable(Durable{}).Run(); err == nil {
+		t.Fatal("durable query with nil log accepted")
+	}
+}

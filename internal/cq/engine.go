@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/buffer"
+	"repro/internal/durable"
 	"repro/internal/resilience"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -17,8 +18,32 @@ import (
 type released struct {
 	tuple stream.Tuple
 	now   stream.Time
-	flush bool // end-of-stream marker: flush remaining windows at now
-	mark  bool // boundary marker: results so far were progress-emitted
+	flush bool     // end-of-stream marker: flush remaining windows at now
+	mark  bool     // boundary marker: results so far were progress-emitted
+	snap  *snapCut // in-band snapshot cut travelling to the window stage
+}
+
+// itemBatch is the source→disorder transport unit: a pooled batch of items
+// plus an optional snapshot cut that applies after the batch's last item.
+type itemBatch struct {
+	items []stream.Item
+	snap  *snapCut
+}
+
+// snapCut is a snapshot under construction riding the pipeline in-band, so
+// each stage contributes its state at exactly the cut position: stage 1
+// fixes the journal cut (after syncing it — a snapshot must never reference
+// records that could still vanish) and the disorder accumulators, stage 3
+// adds the handler state once every pre-cut item is inserted, and stage 4
+// adds the operator state and writes the file once every pre-cut release is
+// observed. The result is bit-identical to a synchronous snapshot at the
+// same item position.
+type snapCut struct {
+	records  uint64 // journal records covered (stage 1)
+	items    uint64 // journal items covered (stage 1)
+	disorder durable.DisorderCut
+	handler  *durable.HandlerState // stage 3
+	now      stream.Time           // arrival clock at the cut (stage 3)
 }
 
 const (
@@ -121,8 +146,11 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	// Capacities are configured in tuples; batches divide them, and a
 	// batch never exceeds the queue bound itself.
 	srcBatch := min(batchSize, ingestCap)
+	// Minimum batch for a starvation-triggered ship (see the idle-ship
+	// branch in the source stage); a full srcBatch still ships eagerly.
+	idleShipMin := min(32, srcBatch)
 	relBatch := min(batchSize, releaseCap)
-	items := make(chan []stream.Item, max(1, ingestCap/srcBatch))
+	items := make(chan itemBatch, max(1, ingestCap/srcBatch))
 	rels := make(chan []released, max(1, releaseCap/relBatch))
 	done := make(chan struct{})
 
@@ -150,44 +178,136 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		src = retrier
 	}
 
+	// The plain window operator is built up front (grouped queries build
+	// their sharded operators at stage-4 setup) so durable recovery can
+	// restore into it and replay before the pipeline launches.
+	var op *window.Op
+	if !q.grouped {
+		op = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+	}
+
+	var inputTuples []stream.Tuple
+	var dis disorderAcc
+	var recNow stream.Time
+	dur, suffix, err := q.startDurable(handler, op, &dis, &recNow)
+	if err != nil {
+		return nil, err
+	}
+	// Recovery replay runs synchronously before the pipeline launches: the
+	// journal suffix flows through the same handler → operator path, with
+	// emissions below the durable floor suppressed and the rest delivered
+	// to the sinks like live results (lost in the crash, owed to the
+	// consumer).
+	if len(suffix) > 0 {
+		var rel []stream.Tuple
+		var scratch []window.Result
+		for _, it := range suffix {
+			if !it.Heartbeat {
+				t := it.Tuple
+				if q.keepInput {
+					inputTuples = append(inputTuples, t)
+				}
+				dis.observe(t)
+				if t.Arrival > recNow {
+					recNow = t.Arrival
+				}
+			} else if it.Watermark > recNow {
+				recNow = it.Watermark
+			}
+			rel = handler.Insert(it, rel[:0])
+			for _, tt := range rel {
+				scratch = op.Observe(tt, recNow, scratch[:0])
+				for _, res := range scratch {
+					if dur.suppress(res) {
+						continue
+					}
+					if !q.discardRep {
+						rep.Results = append(rep.Results, res)
+					}
+					q.telem.noteResult(res, false)
+					q.tracer.Emit(int64(res.EmitArrival), -1, res.Idx, int64(res.Start), int64(res.End), 0, res.Count, int64(res.Latency()))
+					if sink != nil {
+						sink(res)
+					}
+				}
+			}
+		}
+	}
+	if dur != nil && dur.info != nil {
+		rep.Recovery = dur.info
+		q.tracer.Recovery(int64(recNow), dur.info.ReplayedItems, dur.floor, dur.info.TruncatedBytes)
+	}
+
 	// Stage 1+2: source + transform. Owns the source, the shed counter and
 	// the report's input/disorder fields until it closes items. Disorder is
 	// measured inline (same definition as stream.MeasureDisorder, and the
 	// same code path as Run) so an unbounded stream is never retained.
-	var inputTuples []stream.Tuple
-	var disorder stream.DisorderStats
-	var sumLate, sumDelay float64
 	var shed int64
 	go func() {
 		defer close(items)
 		defer recoverStage("source")
 		cur := getItemBatch()
-		var maxTS stream.Time
-		tsStarted := false
+		var pendingSnap *snapCut
+		// perItem selects the paranoid journal cadence: CommitEvery 1 means
+		// every accepted item is journaled and flushed at the accept point,
+		// so the durable prefix equals the crash point exactly (what the DST
+		// crash oracle pins down). Otherwise appends are batched under one
+		// lock per shipped batch — journaled tracks the prefix of cur
+		// already in the journal.
+		perItem := dur != nil && dur.log.PerItemAppend()
+		journaled := 0
+		// journalTail journals the not-yet-journaled suffix of cur. Items in
+		// cur are accepted — journaling them before a send attempt (even one
+		// that fails the overload probe) is always sound; what matters is
+		// journal-before-downstream.
+		journalTail := func() bool {
+			if dur == nil || journaled >= len(cur) {
+				return true
+			}
+			if err := dur.log.AppendItems(cur[journaled:]); err != nil {
+				fail(fmt.Errorf("cq: journal: %w", err))
+				return false
+			}
+			journaled = len(cur)
+			return true
+		}
 		// ship sends the in-progress batch downstream; the non-blocking
 		// form is the overload probe, the blocking form applies
 		// backpressure. False means the pipeline was cancelled.
 		ship := func(block bool) bool {
-			if len(cur) == 0 {
+			if len(cur) == 0 && pendingSnap == nil {
 				return true
 			}
+			if !journalTail() {
+				return false
+			}
 			n := len(cur)
+			ib := itemBatch{items: cur, snap: pendingSnap}
 			if block {
 				select {
-				case items <- cur:
+				case items <- ib:
 				case <-ctx.Done():
 					return false
 				}
 			} else {
 				select {
-				case items <- cur:
+				case items <- ib:
 				default:
 					return false
 				}
 			}
+			pendingSnap = nil
+			// No explicit commit here: the journal is a single ordered
+			// append stream, so every flush persists a prefix — an
+			// emit-progress record can never become durable ahead of the
+			// item records that caused it. Group commit therefore rides
+			// the appenders' CommitEvery cadence alone; committing per
+			// shipped batch would degenerate to a flush syscall per item
+			// whenever the downstream queue runs idle.
 			q.telem.noteIngestBatch(n)
-			q.tracer.SourceBatch(int64(maxTS), n)
+			q.tracer.SourceBatch(int64(dis.clock), n)
 			cur = getItemBatch()
+			journaled = 0
 			return true
 		}
 		for {
@@ -210,23 +330,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				if q.keepInput {
 					inputTuples = append(inputTuples, t)
 				}
-				late = tsStarted && t.TS < maxTS
-				if !tsStarted || t.TS > maxTS {
-					maxTS, tsStarted = t.TS, true
-				}
-				if l := maxTS - t.TS; l > 0 {
-					disorder.OutOfOrder++
-					sumLate += float64(l)
-					if l > disorder.MaxLateness {
-						disorder.MaxLateness = l
-					}
-				}
-				d := t.Delay()
-				sumDelay += float64(d)
-				if d > disorder.MaxDelay {
-					disorder.MaxDelay = d
-				}
-				disorder.N++
+				late = dis.observe(t)
 			}
 			if len(cur) >= srcBatch && !ship(false) {
 				// Batch full and the queue refused it: overload. Heartbeats
@@ -245,12 +349,47 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					return
 				}
 			}
+			// Journal the accepted item (post-shedding, post-transform)
+			// before it enters the pipeline: a crash after this point
+			// replays it, a crash before loses an item no stage acted on.
+			// The batched cadence defers the suffix of cur to ship time
+			// (journalTail) — still before anything downstream sees it.
+			if perItem {
+				if err := dur.log.AppendItem(it); err != nil {
+					fail(fmt.Errorf("cq: journal: %w", err))
+					return
+				}
+				journaled = len(cur) + 1
+			}
 			cur = append(cur, it)
 			q.telem.noteSource(it.Heartbeat, len(items)*srcBatch+len(cur))
+			if dur != nil && dur.log.ShouldSnapshot() {
+				// Fix the cut here — after journalTail the journal exactly
+				// covers the items shipped so far plus cur — and let the
+				// marker ride behind the current batch to collect handler
+				// and operator state.
+				if !journalTail() {
+					return
+				}
+				records, count, err := dur.log.CutForSnapshot()
+				if err != nil {
+					fail(fmt.Errorf("cq: snapshot cut: %w", err))
+					return
+				}
+				pendingSnap = &snapCut{records: records, items: count, disorder: dis.cut()}
+				if !ship(true) {
+					return
+				}
+			}
 			// Heartbeats force the batch out so the disorder stage's clock
 			// keeps moving; an idle downstream queue means the consumer is
 			// starved, so holding a partial batch would only add latency.
-			if it.Heartbeat || len(items) == 0 {
+			// The idleShipMin floor keeps a starved consumer from
+			// degenerating the transport into per-item handoffs — each
+			// tiny ship costs two scheduler switches (ruinous on few
+			// cores), and a sub-minimum batch is at most one heartbeat
+			// away from being forced out anyway.
+			if it.Heartbeat || (len(items) == 0 && len(cur) >= idleShipMin) {
 				if !ship(true) {
 					return
 				}
@@ -266,7 +405,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	go func() {
 		defer close(rels)
 		defer recoverStage("disorder")
-		var now stream.Time
+		now := recNow // resume the arrival clock where recovery left it
 		var rel []stream.Tuple
 		var ends []int
 		cur := getRelBatch()
@@ -286,20 +425,21 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		}
 		push := func(r released) bool {
 			cur = append(cur, r)
-			if !r.mark && !r.flush {
+			if !r.mark && !r.flush && r.snap == nil {
 				q.telem.noteRelease(len(rels)*relBatch + len(cur))
 			}
-			// Marks and flushes must reach the window stage immediately;
-			// otherwise ship on a full batch or an idle downstream queue.
-			if r.mark || r.flush || len(cur) >= relBatch || len(rels) == 0 {
+			// Marks, flushes and snapshot cuts must reach the window stage
+			// immediately; otherwise ship on a full batch or an idle
+			// downstream queue.
+			if r.mark || r.flush || r.snap != nil || len(cur) >= relBatch || len(rels) == 0 {
 				return ship()
 			}
 			return true
 		}
 		for ib := range items {
-			rel, ends = buffer.InsertBatch(handler, ib, rel[:0], ends[:0])
+			rel, ends = buffer.InsertBatch(handler, ib.items, rel[:0], ends[:0])
 			start := 0
-			for i, it := range ib {
+			for i, it := range ib.items {
 				if it.Heartbeat {
 					if it.Watermark > now {
 						now = it.Watermark
@@ -314,7 +454,20 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 				}
 				start = ends[i]
 			}
-			itemPool.Put(ib[:0])
+			if ib.snap != nil {
+				// Every pre-cut item is now inserted: the handler state is
+				// exactly the cut's. Capture it and pass the marker on.
+				hs, err := durable.SaveHandler(handler)
+				if err != nil {
+					fail(fmt.Errorf("cq: snapshot: %w", err))
+					return
+				}
+				ib.snap.handler, ib.snap.now = hs, now
+				if !push(released{now: now, snap: ib.snap}) {
+					return
+				}
+			}
+			itemPool.Put(ib.items[:0])
 		}
 		if failure() != nil {
 			return // upstream failed: don't emit a bogus final flush
@@ -333,7 +486,6 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 
 	// Stage 4: window operator(s) + sink. Owns operator state and the
 	// report's results.
-	var op *window.Op
 	var ks *keyedShards
 	if q.grouped {
 		nshards := q.shards
@@ -411,7 +563,6 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 			}
 		}()
 	} else {
-		op = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
 		go func() {
 			defer close(done)
 			defer recoverStage("window")
@@ -422,6 +573,18 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					continue // cancelled: drain rels without invoking the sink
 				}
 				for _, r := range rb {
+					if r.snap != nil {
+						// Every pre-cut release is observed: the operator
+						// state is exactly the cut's. Complete and persist
+						// the snapshot.
+						if err := dur.writeSnapshotWith(r.snap.handler, op,
+							r.snap.records, r.snap.items, r.snap.now, r.snap.disorder); err != nil {
+							fail(fmt.Errorf("cq: snapshot: %w", err))
+							return
+						}
+						q.tracer.Snapshot(int64(r.now), r.snap.records)
+						continue
+					}
 					switch {
 					case r.mark:
 						rep.PreFlush = len(rep.Results)
@@ -433,6 +596,9 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 						scratch = op.Observe(r.tuple, r.now, scratch[:0])
 					}
 					for _, res := range scratch {
+						if dur.suppress(res) {
+							continue
+						}
 						if !q.discardRep {
 							rep.Results = append(rep.Results, res)
 						}
@@ -444,6 +610,18 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 					}
 					if r.flush {
 						q.tracer.Flush(int64(r.now))
+					}
+				}
+				if dur != nil && !postMark {
+					// Record the emission cursor once per transport batch;
+					// the log dedupes monotone repeats. Flush-forced
+					// emissions are excluded: they exist only because the
+					// stream ended, and journaling them would suppress
+					// their re-emission if the "ended" stream turns out to
+					// have a continuation after recovery.
+					if err := dur.noteEmitProgress(op); err != nil {
+						fail(fmt.Errorf("cq: journal: %w", err))
+						return
 					}
 				}
 				relPool.Put(rb[:0])
@@ -472,11 +650,12 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	}
 
 	rep.Input = inputTuples
-	if disorder.N > 0 {
-		disorder.MeanLateness = sumLate / float64(disorder.N)
-		disorder.MeanDelay = sumDelay / float64(disorder.N)
+	rep.Disorder = dis.finish()
+	if dur != nil {
+		if err := dur.log.Commit(); err != nil {
+			return nil, fmt.Errorf("cq: journal: %w", err)
+		}
 	}
-	rep.Disorder = disorder
 	st := handler.Stats()
 	st.Shed = shed
 	rep.Handler = st

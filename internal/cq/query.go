@@ -49,6 +49,7 @@ type AggQuery struct {
 	discardRep bool
 	telem      *Telemetry
 	tracer     *tracez.Tracer
+	durable    *Durable
 
 	hasWindow bool
 }
@@ -240,6 +241,14 @@ func (q *AggQuery) validate() error {
 	if err := q.spec.Validate(); err != nil {
 		return err
 	}
+	if q.durable != nil {
+		if q.grouped {
+			return errors.New("cq: Durable does not support grouped queries")
+		}
+		if q.durable.Log == nil {
+			return errors.New("cq: Durable needs an opened log")
+		}
+	}
 	return nil
 }
 
@@ -264,6 +273,9 @@ type AggReport struct {
 	// Retries counts source retry attempts spent by the Retry policy
 	// (RunConcurrent only).
 	Retries int64
+	// Recovery is set when a durable query recovered prior state before
+	// processing (see Durable); nil for fresh starts and non-durable runs.
+	Recovery *RecoveryInfo
 }
 
 // Oracle computes exact ground-truth results for the report's input; the
@@ -322,6 +334,7 @@ func (q *AggQuery) Run() (*AggReport, error) {
 	var flushOp func(now stream.Time)
 	var opStats func() window.OpStats
 	var preFlushLen func() int
+	var plainOp *window.Op
 	if q.grouped {
 		op := window.NewKeyedOp(q.spec, q.agg, q.policy, q.refineFor)
 		observe = func(t stream.Tuple, now stream.Time) { rep.Keyed = op.Observe(t, now, rep.Keyed) }
@@ -329,11 +342,44 @@ func (q *AggQuery) Run() (*AggReport, error) {
 		opStats = op.Stats
 		preFlushLen = func() int { return len(rep.Keyed) }
 	} else {
-		op := window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		plainOp = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		op := plainOp
 		observe = func(t stream.Tuple, now stream.Time) { rep.Results = op.Observe(t, now, rep.Results) }
 		flushOp = func(now stream.Time) { rep.Results = op.Flush(now, rep.Results) }
 		opStats = op.Stats
 		preFlushLen = func() int { return len(rep.Results) }
+	}
+
+	// Durable setup must precede the tracer wrapper: suppressed duplicate
+	// emissions (already delivered before a crash) should not re-enter the
+	// trace either.
+	var dis disorderAcc
+	var now stream.Time
+	dur, suffix, err := q.startDurable(handler, plainOp, &dis, &now)
+	if err != nil {
+		return nil, err
+	}
+	if dur != nil && dur.have {
+		innerObserve, innerFlush := observe, flushOp
+		filter := func(base int) {
+			out := rep.Results[:base]
+			for _, res := range rep.Results[base:] {
+				if !dur.suppress(res) {
+					out = append(out, res)
+				}
+			}
+			rep.Results = out
+		}
+		observe = func(t stream.Tuple, now stream.Time) {
+			base := len(rep.Results)
+			innerObserve(t, now)
+			filter(base)
+		}
+		flushOp = func(now stream.Time) {
+			base := len(rep.Results)
+			innerFlush(now)
+			filter(base)
+		}
 	}
 	if q.tracer != nil {
 		// Wrap the hooks so every result appended by the operator is
@@ -365,12 +411,35 @@ func (q *AggQuery) Run() (*AggReport, error) {
 		}
 	}
 
-	var disClock stream.Time
-	disStarted := false
-	var sumLate, sumDelay float64
-
 	var rel []stream.Tuple
-	var now stream.Time
+
+	// Recovery replay: feed the journal suffix through the same handler →
+	// observe path the live loop uses. Replayed items are not re-journaled
+	// (they are the journal), and the suppression wrapper drops emissions
+	// the pre-crash process already delivered.
+	for _, it := range suffix {
+		if !it.Heartbeat {
+			t := it.Tuple
+			if q.keepInput {
+				rep.Input = append(rep.Input, t)
+			}
+			dis.observe(t)
+			if t.Arrival > now {
+				now = t.Arrival
+			}
+		} else if it.Watermark > now {
+			now = it.Watermark
+		}
+		rel = handler.Insert(it, rel[:0])
+		for _, t := range rel {
+			observe(t, now)
+		}
+	}
+	if dur != nil && dur.info != nil {
+		rep.Recovery = dur.info
+		q.tracer.Recovery(int64(now), dur.info.ReplayedItems, dur.floor, dur.info.TruncatedBytes)
+	}
+
 	for {
 		it, ok, err := q.source.NextErr()
 		if err != nil {
@@ -393,31 +462,39 @@ func (q *AggQuery) Run() (*AggReport, error) {
 			// Inline disorder measurement (same definition as
 			// stream.MeasureDisorder) to avoid retaining the input when
 			// KeepInput is off.
-			if !disStarted || t.TS > disClock {
-				disClock = t.TS
-				disStarted = true
-			}
-			if late := disClock - t.TS; late > 0 {
-				rep.Disorder.OutOfOrder++
-				sumLate += float64(late)
-				if late > rep.Disorder.MaxLateness {
-					rep.Disorder.MaxLateness = late
-				}
-			}
-			d := t.Delay()
-			sumDelay += float64(d)
-			if d > rep.Disorder.MaxDelay {
-				rep.Disorder.MaxDelay = d
-			}
-			rep.Disorder.N++
+			dis.observe(t)
 			now = t.Arrival
 		} else if it.Watermark > now {
 			now = it.Watermark
 		}
 
+		// Journal the accepted item before the handler sees it: a crash
+		// after this point replays the item, a crash before loses an item
+		// the pipeline never acted on. Heartbeats are journaled too — they
+		// advance the arrival clock, and an exact replay needs them.
+		if dur != nil {
+			if err := dur.log.AppendItem(it); err != nil {
+				return nil, fmt.Errorf("cq: journal: %w", err)
+			}
+		}
 		rel = handler.Insert(it, rel[:0])
 		for _, t := range rel {
 			observe(t, now)
+		}
+		if dur != nil {
+			if err := dur.noteEmitProgress(plainOp); err != nil {
+				return nil, fmt.Errorf("cq: journal: %w", err)
+			}
+			if dur.log.ShouldSnapshot() {
+				records, count, err := dur.log.CutForSnapshot()
+				if err != nil {
+					return nil, fmt.Errorf("cq: snapshot cut: %w", err)
+				}
+				if err := dur.writeSnapshot(handler, plainOp, records, count, now, dis.cut()); err != nil {
+					return nil, fmt.Errorf("cq: snapshot: %w", err)
+				}
+				q.tracer.Snapshot(int64(now), records)
+			}
 		}
 	}
 	rep.PreFlush = preFlushLen()
@@ -426,11 +503,13 @@ func (q *AggQuery) Run() (*AggReport, error) {
 		observe(t, now)
 	}
 	flushOp(now)
-
-	if rep.Disorder.N > 0 {
-		rep.Disorder.MeanLateness = sumLate / float64(rep.Disorder.N)
-		rep.Disorder.MeanDelay = sumDelay / float64(rep.Disorder.N)
+	if dur != nil {
+		if err := dur.log.Commit(); err != nil {
+			return nil, fmt.Errorf("cq: journal: %w", err)
+		}
 	}
+
+	rep.Disorder = dis.finish()
 	rep.Handler = handler.Stats()
 	rep.Op = opStats()
 	return rep, nil

@@ -1,0 +1,79 @@
+package dst
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// crashSeeds returns how many seeds the crash sweep covers:
+// DST_CRASH_SEEDS when set, a smoke budget otherwise (the `make crash`
+// target raises it; a 100+ seed run is part of the acceptance evidence).
+func crashSeeds(t *testing.T) int {
+	if s := os.Getenv("DST_CRASH_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("DST_CRASH_SEEDS=%q: want a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 12
+}
+
+// TestCrashSweep executes the seed-derived crash matrix: randomized crash
+// points, commit/snapshot cadences, tail damage and executor choice, each
+// checked by the crash-continuation oracle and (for adaptive plans) the
+// θ quality contract across the crash.
+func TestCrashSweep(t *testing.T) {
+	n := crashSeeds(t)
+	for seed := 0; seed < n; seed++ {
+		seed := uint64(seed)
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			cp := CrashPlanForSeed(seed)
+			o, err := ExecuteCrash(cp, t.TempDir())
+			if err != nil {
+				t.Fatalf("%s: %v", cp, err)
+			}
+			if len(o.Failures) > 0 {
+				t.Errorf("%s failed crash oracle (items=%d cut=%d durable=%d lost=%d): %v",
+					cp, o.Items, o.Cut, o.Durable, o.Lost, o.Failures)
+			}
+		})
+	}
+}
+
+// TestCrashDeterminism replays synchronous crash plans twice in fresh
+// directories: the crash point, the surviving prefix and the recovered
+// output must be byte-identical. (Concurrent plans are exempt: whether the
+// dying pipeline's last emit-progress record reached the OS is
+// schedule-dependent, so the recovered floor — though always correct — is
+// not a pure function of the seed.)
+func TestCrashDeterminism(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); checked < 3 && seed < 40; seed++ {
+		cp := CrashPlanForSeed(seed)
+		if cp.Concurrent {
+			continue
+		}
+		checked++
+		a, err := ExecuteCrash(cp, t.TempDir())
+		if err != nil {
+			t.Fatalf("%s: %v", cp, err)
+		}
+		b, err := ExecuteCrash(cp, t.TempDir())
+		if err != nil {
+			t.Fatalf("%s (replay): %v", cp, err)
+		}
+		if a.Durable != b.Durable || a.Lost != b.Lost {
+			t.Errorf("%s: durable prefix diverged across replays: %d/%d vs %d/%d",
+				cp, a.Durable, a.Lost, b.Durable, b.Lost)
+		}
+		if a.OutputDigest == "" || a.OutputDigest != b.OutputDigest {
+			t.Errorf("%s: recovered output diverged: %.12s vs %.12s", cp, a.OutputDigest, b.OutputDigest)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -122,13 +123,15 @@ func NewTranscript(o *Outcome, note string) Transcript {
 	return t
 }
 
-// Write saves the transcript as indented JSON.
+// Write saves the transcript as indented JSON, atomically: a transcript is
+// a committed regression artifact, and a crash mid-write must never leave
+// a torn file that replays as a parse error instead of the pinned bug.
 func (t Transcript) Write(path string) error {
 	data, err := json.MarshalIndent(t, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return durable.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // ReadTranscript loads a committed transcript.

@@ -1,0 +1,62 @@
+// Package durable is the crash-consistency subsystem: a segmented,
+// CRC-checksummed ingest journal recording the items a query accepted, and
+// periodic snapshots of all operator state, written atomically and
+// referenced by journal offset. Recovery loads the newest valid snapshot
+// and replays the journal suffix, landing on exactly the state — and
+// exactly the remaining emissions — of the uninterrupted run.
+//
+// File formats, crash-consistency invariants, and a recovery walkthrough
+// are documented in docs/DURABILITY.md.
+package durable
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any point leaves
+// either the old file or the new one, never a torn mix: the data goes to a
+// temp file in the same directory, is fsynced, and is renamed over path;
+// the directory is fsynced so the rename itself is durable. The DST
+// transcript writer and the snapshot writer share this helper.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

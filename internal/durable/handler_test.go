@@ -1,0 +1,134 @@
+package durable
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// feedHandler pushes a disordered prefix through h so its state is
+// non-trivial: every third tuple is 35 units late (so adaptive slacks
+// settle near 35) and the feed ends with a run of in-order tuples that a
+// nonzero slack must still be buffering.
+func feedHandler(t *testing.T, h buffer.Handler) {
+	t.Helper()
+	var scratch []stream.Tuple
+	for i := 0; i < 80; i++ {
+		ts := int64(i * 10)
+		if i%3 == 1 && i < 74 {
+			ts -= 35
+		}
+		it := stream.DataItem(stream.Tuple{
+			TS: ts, Arrival: int64(i * 10), Seq: uint64(i), Key: uint64(i % 3), Value: float64(i) * 1.5,
+		})
+		scratch = h.Insert(it, scratch[:0])
+	}
+	if h.Len() == 0 {
+		t.Fatal("feed left the handler empty; round-trip would be vacuous")
+	}
+}
+
+// roundTrip saves h, restores into fresh, and requires the restored
+// handler to be observationally identical: same K, same buffered count,
+// same stats, and the same remaining event-time-ordered releases.
+func roundTrip(t *testing.T, kind string, h, fresh buffer.Handler) {
+	t.Helper()
+	st, err := SaveHandler(h)
+	if err != nil {
+		t.Fatalf("SaveHandler: %v", err)
+	}
+	if st.Kind != kind {
+		t.Fatalf("kind = %q, want %q", st.Kind, kind)
+	}
+	if err := RestoreHandler(fresh, st); err != nil {
+		t.Fatalf("RestoreHandler: %v", err)
+	}
+	if fresh.K() != h.K() || fresh.Len() != h.Len() {
+		t.Fatalf("restored K=%d len=%d, want K=%d len=%d", fresh.K(), fresh.Len(), h.K(), h.Len())
+	}
+	if fresh.Stats() != h.Stats() {
+		t.Fatalf("restored stats %+v, want %+v", fresh.Stats(), h.Stats())
+	}
+	got := fresh.Flush(nil)
+	want := h.Flush(nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored flush %v, want %v", got, want)
+	}
+}
+
+func TestHandlerRoundTripKSlack(t *testing.T) {
+	h := buffer.NewKSlack(25)
+	feedHandler(t, h)
+	roundTrip(t, "kslack", h, buffer.NewKSlack(25))
+}
+
+func TestHandlerRoundTripMaxSlack(t *testing.T) {
+	h := buffer.NewMaxSlack()
+	feedHandler(t, h)
+	roundTrip(t, "maxslack", h, buffer.NewMaxSlack())
+}
+
+func TestHandlerRoundTripPercentile(t *testing.T) {
+	h := buffer.NewPercentile(0.95, 10)
+	feedHandler(t, h)
+	roundTrip(t, "percentile", h, buffer.NewPercentile(0.95, 10))
+}
+
+func TestHandlerRoundTripAQ(t *testing.T) {
+	cfg := core.Config{
+		Theta: 0.001, // tight bound: the controller must hold a real slack
+		Spec:  window.Spec{Size: 100, Slide: 50},
+		Agg:   window.Sum(),
+		// Adapt from the start so the 80-tuple feed exercises the
+		// controller, not just the underlying buffer.
+		WarmupTuples: 1,
+	}
+	h := core.NewAQKSlack(cfg)
+	feedHandler(t, h)
+	roundTrip(t, "aq", h, core.NewAQKSlack(cfg))
+}
+
+// Instrumentation wrappers must be transparent: the state belongs to the
+// wrapped handler, and a wrapped target restores like a bare one.
+func TestHandlerRoundTripUnwrapsInstrumentation(t *testing.T) {
+	inner := buffer.NewKSlack(25)
+	h := buffer.Instrument(inner, obs.NewRegistry())
+	feedHandler(t, h)
+	roundTrip(t, "kslack", h, buffer.Instrument(buffer.NewKSlack(25), obs.NewRegistry()))
+}
+
+func TestRestoreHandlerRejectsMismatch(t *testing.T) {
+	h := buffer.NewKSlack(25)
+	feedHandler(t, h)
+	st, err := SaveHandler(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreHandler(buffer.NewPercentile(0.9, 10), st); err == nil ||
+		!strings.Contains(err.Error(), "percentile") {
+		t.Fatalf("kslack state into percentile handler: err = %v", err)
+	}
+	if err := RestoreHandler(buffer.NewMaxSlack(), st); err == nil {
+		t.Fatal("kslack state into maxslack handler must fail")
+	}
+	if err := RestoreHandler(buffer.NewKSlack(25), nil); err == nil {
+		t.Fatal("nil state must fail")
+	}
+}
+
+func TestUnsupportedHandlerRejected(t *testing.T) {
+	h := buffer.NewPunctuated()
+	if _, err := SaveHandler(h); err == nil {
+		t.Fatal("SaveHandler on an unsupported handler must fail")
+	}
+	st := &HandlerState{Kind: "kslack"}
+	if err := RestoreHandler(buffer.NewPunctuated(), st); err == nil {
+		t.Fatal("RestoreHandler on an unsupported handler must fail")
+	}
+}

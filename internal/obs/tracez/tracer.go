@@ -296,6 +296,27 @@ func (t *Tracer) Flush(at int64) {
 	t.rec.Record(Event{At: at, Kind: KindFlush, Stage: StageWindow})
 }
 
+// Recovery records a completed crash recovery: replayed is the number of
+// journal items replayed past the snapshot, emitFloor the durable emission
+// index below which results were suppressed (0 when none), truncatedBytes
+// the torn-tail bytes repaired away.
+func (t *Tracer) Recovery(at int64, replayed int, emitFloor int64, truncatedBytes int64) {
+	if t == nil {
+		return
+	}
+	t.rec.Record(Event{At: at, Kind: KindRecovery, Stage: StageDurable,
+		N: int64(replayed), Win: emitFloor, V: float64(truncatedBytes)})
+}
+
+// Snapshot records a durable snapshot covering the given journal record
+// count.
+func (t *Tracer) Snapshot(at int64, records uint64) {
+	if t == nil {
+		return
+	}
+	t.rec.Record(Event{At: at, Kind: KindSnapshot, Stage: StageDurable, N: int64(records)})
+}
+
 // Log mirrors one structured-log record into the recorder. At is wall
 // milliseconds (log records happen outside stream time).
 func (t *Tracer) Log(at int64, msg string) {

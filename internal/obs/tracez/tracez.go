@@ -57,6 +57,8 @@ const (
 	KindViolation         // quality-SLO watchdog entered violation; Win, V = realized error
 	KindViolationEnd      // watchdog left violation; V = violation length (wall ms)
 	KindLog               // structured log record mirrored into the recorder
+	KindRecovery          // crash recovery completed; N = replayed items, Win = emit floor, V = truncated bytes
+	KindSnapshot          // durable snapshot written; N = journal records covered
 )
 
 // String names the kind (stable — the Chrome exporter and dumps use it).
@@ -96,6 +98,10 @@ func (k Kind) String() string {
 		return "violation-end"
 	case KindLog:
 		return "log"
+	case KindRecovery:
+		return "recovery"
+	case KindSnapshot:
+		return "snapshot"
 	default:
 		return "unknown"
 	}
@@ -113,6 +119,7 @@ const (
 	StageWindow           // window operator / shard workers
 	StageWatchdog         // quality-SLO watchdog
 	StageLog              // structured logging
+	StageDurable          // journal / snapshot / recovery machinery
 )
 
 // String names the stage.
@@ -130,6 +137,8 @@ func (s Stage) String() string {
 		return "watchdog"
 	case StageLog:
 		return "log"
+	case StageDurable:
+		return "durable"
 	default:
 		return "none"
 	}

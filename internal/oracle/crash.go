@@ -1,0 +1,60 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+)
+
+// EmitFloorPrefix counts the leading primary results of ref already covered
+// by the recovered run's durable emission floor — the results the previous
+// process delivered before crashing, which the recovered run must suppress
+// rather than re-emit. Refinements never count: they are idempotent
+// corrections, outside the exactly-once cursor.
+func EmitFloorPrefix(ref *cq.AggReport, rec *cq.RecoveryInfo) int {
+	if rec == nil || !rec.HaveEmit {
+		return 0
+	}
+	k := 0
+	for _, r := range ref.Results {
+		if !r.Refinement && r.Idx < rec.EmitProgress {
+			k++
+		}
+	}
+	return k
+}
+
+// CrashContinuation is the crash-recovery oracle: a run recovered from
+// snapshot + journal replay must continue the loss reference — a fresh
+// synchronous run over (durable prefix ++ post-crash input) — exactly.
+// Concretely: the recovered output equals the reference output past the
+// durable emission floor (no duplicate, no gap), and the recovered run's
+// handler, operator and disorder statistics match the reference's, i.e.
+// recovery reconstructed the full pre-crash trajectory, not just its
+// emissions.
+func CrashContinuation(lossRef, recovered *cq.AggReport) error {
+	k := EmitFloorPrefix(lossRef, recovered.Recovery)
+	if k > len(lossRef.Results) {
+		return fmt.Errorf("oracle: emission floor covers %d results but reference produced %d", k, len(lossRef.Results))
+	}
+	if d := diffResults("recovered results", recovered.Results, lossRef.Results[k:]); d != "" {
+		return fmt.Errorf("oracle: %s (floor prefix %d)", d, k)
+	}
+	if recovered.Handler != lossRef.Handler {
+		return fmt.Errorf("oracle: recovered handler stats %+v vs reference %+v", recovered.Handler, lossRef.Handler)
+	}
+	if recovered.Op != lossRef.Op {
+		return fmt.Errorf("oracle: recovered op stats %+v vs reference %+v", recovered.Op, lossRef.Op)
+	}
+	if recovered.Disorder != lossRef.Disorder {
+		return fmt.Errorf("oracle: recovered disorder %+v vs reference %+v (snapshot lost the accumulator)",
+			recovered.Disorder, lossRef.Disorder)
+	}
+	if rec := recovered.Recovery; rec != nil && rec.HaveEmit {
+		if recovered.PreFlush != lossRef.PreFlush-k {
+			return fmt.Errorf("oracle: recovered preflush %d, want %d (reference %d minus floor prefix %d)",
+				recovered.PreFlush, lossRef.PreFlush-k, lossRef.PreFlush, k)
+		}
+	}
+	return nil
+}

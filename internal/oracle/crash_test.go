@@ -1,0 +1,145 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/cq"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func buffStats(n int64) buffer.Stats {
+	return buffer.Stats{Inserted: n, Released: n, Stragglers: 1, MaxHeld: 3, MaxK: 20}
+}
+
+// crashPair builds a loss reference and a recovered report that continue
+// each other exactly: the recovered run suppressed the first floor
+// results and re-emitted the rest, with identical trajectory statistics.
+func crashPair(floor int64) (*cq.AggReport, *cq.AggReport) {
+	ref := &cq.AggReport{
+		Results:  []window.Result{res(0, 1), res(1, 2), res(2, 3), res(3, 4)},
+		PreFlush: 3,
+		Handler:  buffStats(7),
+		Op:       window.OpStats{TuplesIn: 9, Emitted: 4},
+		Disorder: stream.DisorderStats{N: 9, OutOfOrder: 2, MaxLateness: 30},
+	}
+	rec := &cq.AggReport{
+		Results:  append([]window.Result(nil), ref.Results[floor:]...),
+		PreFlush: 3 - int(floor),
+		Handler:  ref.Handler,
+		Op:       ref.Op,
+		Disorder: ref.Disorder,
+		Recovery: &cq.RecoveryInfo{HaveEmit: true, EmitProgress: floor, FromSnapshot: true},
+	}
+	return ref, rec
+}
+
+func TestEmitFloorPrefix(t *testing.T) {
+	ref, rec := crashPair(2)
+	if k := EmitFloorPrefix(ref, rec.Recovery); k != 2 {
+		t.Fatalf("floor prefix = %d, want 2", k)
+	}
+	// No durable emission record: nothing is covered.
+	if k := EmitFloorPrefix(ref, &cq.RecoveryInfo{EmitProgress: 2}); k != 0 {
+		t.Fatalf("floor without HaveEmit = %d, want 0", k)
+	}
+	if k := EmitFloorPrefix(ref, nil); k != 0 {
+		t.Fatalf("nil recovery = %d, want 0", k)
+	}
+	// Refinements are idempotent corrections — never part of the floor.
+	ref.Results[0].Refinement = true
+	if k := EmitFloorPrefix(ref, rec.Recovery); k != 1 {
+		t.Fatalf("floor prefix with refinement = %d, want 1", k)
+	}
+}
+
+func TestCrashContinuationAcceptsExactContinuation(t *testing.T) {
+	ref, rec := crashPair(2)
+	if err := CrashContinuation(ref, rec); err != nil {
+		t.Fatalf("exact continuation rejected: %v", err)
+	}
+	// Journal-only recovery (no emission floor): the full output must
+	// reappear, and the preflush check is skipped.
+	ref2, rec2 := crashPair(0)
+	rec2.Recovery = &cq.RecoveryInfo{ReplayedItems: 5}
+	if err := CrashContinuation(ref2, rec2); err != nil {
+		t.Fatalf("journal-only continuation rejected: %v", err)
+	}
+}
+
+func TestCrashContinuationDetectsDrift(t *testing.T) {
+	check := func(name string, mutate func(ref, rec *cq.AggReport), want string) {
+		t.Helper()
+		ref, rec := crashPair(2)
+		mutate(ref, rec)
+		err := CrashContinuation(ref, rec)
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want substring %q", name, err, want)
+		}
+	}
+	check("duplicate emission", func(ref, rec *cq.AggReport) {
+		rec.Results = ref.Results // floor prefix re-delivered
+	}, "recovered results")
+	check("handler drift", func(ref, rec *cq.AggReport) {
+		rec.Handler = buffStats(8)
+	}, "handler stats")
+	check("op drift", func(ref, rec *cq.AggReport) {
+		rec.Op.TuplesIn++
+	}, "op stats")
+	check("lost disorder accumulator", func(ref, rec *cq.AggReport) {
+		rec.Disorder.N = 3 // post-crash tuples only
+	}, "disorder")
+	check("preflush drift", func(ref, rec *cq.AggReport) {
+		rec.PreFlush++
+	}, "preflush")
+	check("gap after the floor", func(ref, rec *cq.AggReport) {
+		rec.Results = rec.Results[1:] // first uncovered result missing
+	}, "recovered results")
+}
+
+func TestEquivalenceChecksTranscript(t *testing.T) {
+	in := []stream.Tuple{{TS: 10, Arrival: 10}, {TS: 20, Arrival: 25}}
+	a := &cq.AggReport{Input: in, Disorder: stream.DisorderStats{N: 2}}
+	b := &cq.AggReport{Input: in, Disorder: stream.DisorderStats{N: 2}}
+	if err := Equivalence(a, b); err != nil {
+		t.Fatalf("identical runs rejected: %v", err)
+	}
+	b.Disorder.OutOfOrder = 1
+	if err := Equivalence(a, b); err == nil {
+		t.Fatal("disorder drift not detected")
+	}
+	b.Disorder = a.Disorder
+	b.Input = in[:1]
+	if err := Equivalence(a, b); err == nil {
+		t.Fatal("input length drift not detected")
+	}
+}
+
+func TestQualityContractShedAdjusted(t *testing.T) {
+	spec := window.Spec{Size: 100, Slide: 100}
+	in := []stream.Tuple{
+		{TS: 10, Arrival: 10, Seq: 0, Value: 1},
+		{TS: 110, Arrival: 115, Seq: 1, Value: 2},
+		{TS: 210, Arrival: 212, Seq: 2, Value: 3},
+		{TS: 310, Arrival: 311, Seq: 3, Value: 4},
+	}
+	rep := &cq.AggReport{Input: in, Disorder: stream.DisorderStats{N: len(in)}}
+	rep.Results = window.Oracle(spec, window.Sum(), in)
+	opts := ContractOpts{Theta: 0.05, SkipWarmup: 1}
+	if err := QualityContract(rep, spec, window.Sum(), false, opts); err != nil {
+		t.Fatalf("exact run violates contract: %v", err)
+	}
+	// Crash loss folds into the same accounting as shedding: enough
+	// uncommitted loss must push the adjusted error past θ.
+	opts.ExtraLoss = 4
+	if err := QualityContract(rep, spec, window.Sum(), false, opts); err == nil {
+		t.Fatal("crash loss not charged against the contract")
+	}
+	// Too short to outlast the warm-up: vacuously ok, never a panic.
+	opts.SkipWarmup = 100
+	if err := QualityContract(rep, spec, window.Sum(), false, opts); err != nil {
+		t.Fatalf("sub-warmup workload must pass vacuously: %v", err)
+	}
+}

@@ -125,6 +125,11 @@ type ContractOpts struct {
 	// controller calibrates; zero means 20, matching the repository's
 	// acceptance-suite convention.
 	SkipWarmup int
+	// ExtraLoss counts input tuples lost outside the shedding path — e.g.
+	// journaled-but-uncommitted tuples dropped by a crash. They fold into
+	// the shed-adjusted error the same way shed tuples do: both are
+	// bounded, accounted data loss.
+	ExtraLoss int64
 }
 
 // QualityContract verifies the paper's central promise on a report
@@ -146,7 +151,7 @@ func QualityContract(rep *cq.AggReport, spec window.Spec, agg window.Factory, gr
 		return nil // workload too short to outlast the warm-up: vacuously ok
 	}
 	accepted := int64(rep.Disorder.N) - rep.Shed
-	adj := metrics.ShedAdjustedErr(q.MeanRelErr, rep.Shed, accepted)
+	adj := metrics.ShedAdjustedErr(q.MeanRelErr, rep.Shed+opts.ExtraLoss, accepted)
 	if math.IsNaN(adj) || adj > opts.Theta {
 		return fmt.Errorf("oracle: quality contract violated: shed-adjusted mean rel err %.5f > θ=%.5f (%s, shed=%d)",
 			adj, opts.Theta, q, rep.Shed)

@@ -1,0 +1,61 @@
+package resilience
+
+import (
+	"os"
+
+	"repro/internal/stats"
+)
+
+// File-level fault injection for durability testing: the two ways a crash
+// (or the disk under it) damages a log tail. Both are deterministic given
+// their arguments, so DST crash plans replay byte-identically.
+
+// TruncateTail shears the last n bytes off the file at path — the torn
+// write a power cut leaves when only part of an appended frame reached the
+// platter. Truncating past the start leaves an empty file rather than
+// failing, matching what a crash during the file's first write produces.
+func TruncateTail(path string, n int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := st.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// CorruptTail flips one random bit within the last span bytes of the file
+// — partial-sector damage under an interrupted write. The position and bit
+// are drawn from seed, so the same (path size, span, seed) always damages
+// the same byte.
+func CorruptTail(path string, span int64, seed uint64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	if span <= 0 || span > size {
+		span = size
+	}
+	rng := stats.NewRNG(seed)
+	off := size - span + int64(rng.Intn(int(span)))
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << uint(rng.Intn(8))
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTruncateTail(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(p, bytes.Repeat([]byte{0xab}, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(p, 30); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(p)
+	if len(b) != 70 {
+		t.Fatalf("size = %d, want 70", len(b))
+	}
+	// Truncating past the start leaves an empty file, not an error.
+	if err := TruncateTail(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(p); len(b) != 0 {
+		t.Fatalf("size = %d, want 0", len(b))
+	}
+}
+
+func TestCorruptTailDeterministic(t *testing.T) {
+	mk := func() string {
+		p := filepath.Join(t.TempDir(), "f")
+		if err := os.WriteFile(p, bytes.Repeat([]byte{0x55}, 256), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := mk(), mk()
+	if err := CorruptTail(p1, 64, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptTail(p2, 64, 42); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different damage")
+	}
+	orig := bytes.Repeat([]byte{0x55}, 256)
+	if bytes.Equal(b1, orig) {
+		t.Fatal("no damage applied")
+	}
+	diff := 0
+	for i := range b1 {
+		if b1[i] != orig[i] {
+			diff++
+			if i < 256-64 {
+				t.Fatalf("damage at offset %d, outside the last 64 bytes", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes damaged, want exactly 1", diff)
+	}
+	// Empty files are a no-op.
+	empty := filepath.Join(t.TempDir(), "e")
+	os.WriteFile(empty, nil, 0o644)
+	if err := CorruptTail(empty, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// This file exports and restores operator state for crash-consistent
+// snapshots (internal/durable). A restored operator continues exactly where
+// the snapshot left off: same open-window aggregates, same emit cursor,
+// same counters, so replaying the identical tuple suffix emits identical
+// results.
+
+// AggState is the exported state of one window aggregate, generic across
+// the concrete implementations: N is the add count, Nums holds a fixed
+// per-kind tuple of scalars, Vals holds variable-length payloads (quantile
+// sample, distinct key set).
+type AggState struct {
+	N    int64     `json:"n"`
+	Nums []float64 `json:"nums,omitempty"`
+	Vals []float64 `json:"vals,omitempty"`
+}
+
+// SaveAggregate exports the state of an aggregate created by one of this
+// package's factories. It panics on an unknown implementation — a new
+// aggregate type must add a case here before it can be snapshotted.
+func SaveAggregate(a Aggregate) AggState {
+	switch v := a.(type) {
+	case *countAgg:
+		return AggState{N: v.n}
+	case *sumAgg:
+		return AggState{N: v.n, Nums: []float64{v.sum, v.c}}
+	case *avgAgg:
+		w := v.w.State()
+		return AggState{N: w.N, Nums: []float64{w.Mean, w.M2, w.Min, w.Max}}
+	case *stddevAgg:
+		w := v.w.State()
+		return AggState{N: w.N, Nums: []float64{w.Mean, w.M2, w.Min, w.Max}}
+	case *minAgg:
+		return AggState{N: v.n, Nums: []float64{v.v}}
+	case *maxAgg:
+		return AggState{N: v.n, Nums: []float64{v.v}}
+	case *quantileAgg:
+		vals := make([]float64, len(v.vals))
+		copy(vals, v.vals)
+		return AggState{N: int64(len(v.vals)), Vals: vals}
+	case *distinctAgg:
+		keys := make([]float64, 0, len(v.seen))
+		for k := range v.seen {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys) // deterministic snapshot bytes
+		return AggState{N: v.n, Vals: keys}
+	}
+	panic(fmt.Sprintf("window: cannot snapshot aggregate %T", a))
+}
+
+// RestoreAggregate builds a fresh aggregate from the factory and loads the
+// exported state into it. The factory must be the one the state was saved
+// from; mismatched shapes panic.
+func RestoreAggregate(f Factory, st AggState) Aggregate {
+	a := f.New()
+	switch v := a.(type) {
+	case *countAgg:
+		v.n = st.N
+	case *sumAgg:
+		v.n, v.sum, v.c = st.N, num(st, 0), num(st, 1)
+	case *avgAgg:
+		v.w.Restore(welfordFrom(st))
+	case *stddevAgg:
+		v.w.Restore(welfordFrom(st))
+	case *minAgg:
+		v.n, v.v = st.N, num(st, 0)
+	case *maxAgg:
+		v.n, v.v = st.N, num(st, 0)
+	case *quantileAgg:
+		v.vals = append(v.vals, st.Vals...)
+		v.sorted = false
+	case *distinctAgg:
+		v.n = st.N
+		if len(st.Vals) > 0 {
+			v.seen = make(map[float64]struct{}, len(st.Vals))
+			for _, k := range st.Vals {
+				v.seen[k] = struct{}{}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("window: cannot restore aggregate %T", a))
+	}
+	return a
+}
+
+func num(st AggState, i int) float64 {
+	if i >= len(st.Nums) {
+		panic(fmt.Sprintf("window: aggregate state has %d scalars, need index %d", len(st.Nums), i))
+	}
+	return st.Nums[i]
+}
+
+func welfordFrom(st AggState) stats.WelfordState {
+	return stats.WelfordState{N: st.N, Mean: num(st, 0), M2: num(st, 1), Min: num(st, 2), Max: num(st, 3)}
+}
+
+// WinAgg pairs a window index with its aggregate state.
+type WinAgg struct {
+	Idx int64    `json:"idx"`
+	Agg AggState `json:"agg"`
+}
+
+// OpState is the exported state of a window operator. Open and Retained are
+// sorted by window index so snapshot bytes are deterministic.
+type OpState struct {
+	Open      []WinAgg    `json:"open,omitempty"`
+	Retained  []WinAgg    `json:"retained,omitempty"`
+	NextEmit  int64       `json:"nextEmit"`
+	HaveFirst bool        `json:"haveFirst"`
+	Clock     stream.Time `json:"clock"`
+	Started   bool        `json:"started"`
+	Stats     OpStats     `json:"stats"`
+}
+
+func saveWinAggs(m map[int64]Aggregate) []WinAgg {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]WinAgg, 0, len(m))
+	for idx, agg := range m {
+		out = append(out, WinAgg{Idx: idx, Agg: SaveAggregate(agg)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Idx < out[j].Idx })
+	return out
+}
+
+func restoreWinAggs(f Factory, was []WinAgg) map[int64]Aggregate {
+	m := make(map[int64]Aggregate, len(was))
+	for _, wa := range was {
+		m[wa.Idx] = RestoreAggregate(f, wa.Agg)
+	}
+	return m
+}
+
+// State exports the operator state.
+func (o *Op) State() OpState {
+	return OpState{
+		Open:      saveWinAggs(o.open),
+		Retained:  saveWinAggs(o.retained),
+		NextEmit:  o.nextEmit,
+		HaveFirst: o.haveFirst,
+		Clock:     o.clock,
+		Started:   o.started,
+		Stats:     o.stats,
+	}
+}
+
+// Restore sets the operator to a previously exported state. The operator
+// must have been built with the same spec, factory, and policy as the one
+// the state was saved from.
+func (o *Op) Restore(st OpState) {
+	o.open = restoreWinAggs(o.agg, st.Open)
+	o.retained = restoreWinAggs(o.agg, st.Retained)
+	o.nextEmit = st.NextEmit
+	o.haveFirst = st.HaveFirst
+	o.clock = st.Clock
+	o.started = st.Started
+	o.stats = st.Stats
+}
+
+// EmitProgress returns the index of the next primary window the operator
+// will emit, and whether any window has been observed yet. Recovery uses it
+// to suppress re-emission of windows that were already delivered before a
+// crash.
+func (o *Op) EmitProgress() (int64, bool) { return o.nextEmit, o.haveFirst }

@@ -1,0 +1,125 @@
+package window
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+func opTuples(seed uint64, n int) []stream.Tuple {
+	rng := stats.NewRNG(seed)
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		ts := stream.Time(i) * 7
+		// Mild disorder so late-tuple paths get exercised.
+		if rng.Float64() < 0.1 && i > 10 {
+			ts -= stream.Time(rng.Intn(60))
+		}
+		out[i] = stream.Tuple{TS: ts, Arrival: ts + stream.Time(rng.Intn(20)), Seq: uint64(i), Value: rng.NormFloat64() * 50}
+	}
+	return out
+}
+
+func TestOpStateContinuationAllAggregates(t *testing.T) {
+	spec := Spec{Size: 100, Slide: 40}
+	factories := append(AllFactories(), Distinct())
+	for _, f := range factories {
+		for _, policy := range []LatePolicy{DropLate, RefineLate} {
+			t.Run(f.Name+"/"+policy.String(), func(t *testing.T) {
+				a := NewOp(spec, f, policy, 200)
+				b := NewOp(spec, f, policy, 200)
+				tuples := opTuples(9, 500)
+				cut := len(tuples) / 2
+
+				var resA, resB []Result
+				for _, tp := range tuples[:cut] {
+					resA = a.Observe(tp, tp.Arrival, resA)
+				}
+				b.Restore(a.State())
+
+				prefix := len(resA)
+				for _, tp := range tuples[cut:] {
+					resA = a.Observe(tp, tp.Arrival, resA)
+					resB = b.Observe(tp, tp.Arrival, resB)
+				}
+				resA = a.Flush(tuples[len(tuples)-1].Arrival, resA)
+				resB = b.Flush(tuples[len(tuples)-1].Arrival, resB)
+
+				suffix := resA[prefix:]
+				if len(suffix) != len(resB) {
+					t.Fatalf("result count diverged: %d vs %d", len(suffix), len(resB))
+				}
+				for i := range suffix {
+					if suffix[i] != resB[i] {
+						t.Fatalf("result %d diverged:\n  orig: %v\n  rest: %v", i, suffix[i], resB[i])
+					}
+				}
+				if a.Stats() != b.Stats() {
+					t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+				}
+				if ea, oka := a.EmitProgress(); true {
+					if eb, okb := b.EmitProgress(); ea != eb || oka != okb {
+						t.Fatalf("emit progress diverged: %d,%v vs %d,%v", ea, oka, eb, okb)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestOpStateFreshOperator(t *testing.T) {
+	spec := Spec{Size: 10, Slide: 10}
+	a := NewOp(spec, Sum(), DropLate, 0)
+	st := a.State()
+	if st.HaveFirst || len(st.Open) != 0 {
+		t.Fatalf("fresh op exported non-trivial state: %+v", st)
+	}
+	b := NewOp(spec, Sum(), DropLate, 0)
+	b.Restore(st)
+	var res []Result
+	res = b.Observe(stream.Tuple{TS: 5, Arrival: 5, Value: 2}, 5, res)
+	res = b.Flush(5, res)
+	if len(res) != 1 || res[0].Value != 2 {
+		t.Fatalf("restored-fresh op misbehaved: %v", res)
+	}
+}
+
+func TestAggregateStateRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(21)
+	for _, f := range append(AllFactories(), Distinct()) {
+		a := f.New()
+		for i := 0; i < 64; i++ {
+			a.Add(float64(rng.Intn(40))) // repeats exercise distinct's map
+		}
+		b := RestoreAggregate(f, SaveAggregate(a))
+		if a.N() != b.N() || a.Value() != b.Value() {
+			t.Fatalf("%s: round trip changed value: n=%d/%d v=%v/%v",
+				f.Name, a.N(), b.N(), a.Value(), b.Value())
+		}
+		// Continuation: both must evolve identically after restore.
+		for i := 0; i < 32; i++ {
+			v := rng.NormFloat64()
+			a.Add(v)
+			b.Add(v)
+		}
+		if a.Value() != b.Value() || a.N() != b.N() {
+			t.Fatalf("%s: diverged after restore: %v vs %v", f.Name, a.Value(), b.Value())
+		}
+	}
+}
+
+func TestSaveAggregateUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for unknown aggregate type")
+		}
+	}()
+	SaveAggregate(unknownAgg{})
+}
+
+type unknownAgg struct{}
+
+func (unknownAgg) Add(float64)    {}
+func (unknownAgg) Value() float64 { return 0 }
+func (unknownAgg) N() int64       { return 0 }
