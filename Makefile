@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-trace bench-journal dst crash cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-transport bench-trace bench-journal bench-aggcore dst crash cover
 
 check: vet build race fuzz-short dst crash doccheck
 
@@ -76,12 +76,15 @@ doccheck:
 	$(GO) vet ./internal/obs/...
 	$(GO) test . -run '^TestDocLinks$$'
 
+# Run every per-PR benchmark gate.
+BENCHTIME ?= 5x
+bench: bench-transport bench-aggcore
+
 # PR3 performance gate: run the transport/sharding benchmarks and commit
 # the parsed numbers. BENCH_PR3.json records ns/op, allocs/op and
 # tuples/s per benchmark plus the host CPU count (shard scaling only
 # shows on multi-core hosts; see EXPERIMENTS.md R16).
-BENCHTIME ?= 5x
-bench:
+bench-transport:
 	$(GO) test -bench 'BenchmarkPipelineBatched|BenchmarkGroupedSharded' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR3.json
@@ -104,6 +107,16 @@ bench-journal:
 	$(GO) test -bench 'BenchmarkJournalOverhead|BenchmarkRecovery' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR6.json
+
+# PR7 performance gate: the two window aggregation cores head to head —
+# in-order, d-bounded out-of-order, and bulk-eviction operator runs, plus
+# the raw finger B-tree insert sweep whose ns/op-vs-d curve is the O(log d)
+# evidence (EXPERIMENTS.md R19). BENCH_PR7.json must show the fiba core
+# ahead of legacy on out-of-order insert at d >= 64.
+bench-aggcore:
+	$(GO) test -bench 'BenchmarkAggCore|BenchmarkFiBAInsert' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR7.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fiba"
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// The aggregation-core benchmarks compare the legacy per-window fold (one
+// aggregate update per open window per tuple — Size/Slide of them) against
+// the fiba finger B-tree core (one tree insert per tuple, amortized O(1)
+// in order and O(log d) at out-of-order distance d). BENCH_PR7.json
+// records the results; EXPERIMENTS.md R19 discusses the O(log d) curve.
+
+// aggCoreSpec gives a 20x-overlapping sliding window, the shape where the
+// legacy fold pays 20 map updates per tuple.
+var aggCoreSpec = window.Spec{Size: 10 * stream.Second, Slide: 500 * stream.Millisecond}
+
+// orderedTuples yields n event-time-sorted tuples 1ms apart: dense enough
+// that even the largest benchmarked disorder distance (d=1024 → ~1s of
+// displacement) spans at most two slides, so no tuples become late and
+// nearly every one pays the full window overlap on the legacy core —
+// the insert paths are what the comparison measures.
+func orderedTuples(n int) []stream.Tuple {
+	c := gen.Sensor(n, 12345)
+	c.Interval = stream.Millisecond
+	tuples := c.Arrivals()
+	stream.SortByEventTime(tuples)
+	for i := range tuples {
+		tuples[i].Seq = uint64(i) // re-sequence so (TS, Seq) follows feed order
+	}
+	return tuples
+}
+
+// shuffleBounded displaces each tuple at most d positions from event-time
+// order — the bounded-disorder model (out-of-order distance d) of the FiBA
+// analysis.
+func shuffleBounded(tuples []stream.Tuple, d int) {
+	rng := rand.New(rand.NewSource(42))
+	for i := range tuples {
+		j := i + rng.Intn(d+1)
+		if j < len(tuples) {
+			tuples[i], tuples[j] = tuples[j], tuples[i]
+		}
+	}
+	for i := range tuples {
+		tuples[i].Seq = uint64(i)
+	}
+}
+
+// driveOp feeds tuples through a window operator on the given core.
+func driveOp(b *testing.B, core window.CoreKind, spec window.Spec, tuples []stream.Tuple) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := window.NewOpWithCore(spec, window.Sum(), window.DropLate, 0, core)
+		var res []window.Result
+		for _, t := range tuples {
+			res = op.Observe(t, t.Arrival, res[:0])
+		}
+		op.Flush(0, res[:0])
+	}
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+var coreKinds = []window.CoreKind{window.CoreLegacy, window.CoreFiba}
+
+// BenchmarkAggCoreInOrder measures both cores on a fully ordered stream:
+// the legacy fold pays the 20x window overlap per tuple, the tree core its
+// right-finger append.
+func BenchmarkAggCoreInOrder(b *testing.B) {
+	tuples := orderedTuples(200000)
+	for _, core := range coreKinds {
+		b.Run("core="+core.String(), func(b *testing.B) {
+			driveOp(b, core, aggCoreSpec, tuples)
+		})
+	}
+}
+
+// BenchmarkAggCoreOOO measures both cores on d-bounded out-of-order
+// streams. The legacy fold's per-tuple cost is independent of d; the tree
+// core's insert grows as O(log d) (finger climb + descend). The acceptance
+// bar is fiba ahead of legacy from d=64 up (BENCH_PR7.json).
+func BenchmarkAggCoreOOO(b *testing.B) {
+	for _, d := range []int{16, 64, 256, 1024} {
+		tuples := orderedTuples(200000)
+		shuffleBounded(tuples, d)
+		for _, core := range coreKinds {
+			b.Run(fmt.Sprintf("d=%d/core=%s", d, core.String()), func(b *testing.B) {
+				driveOp(b, core, aggCoreSpec, tuples)
+			})
+		}
+	}
+}
+
+// BenchmarkAggCoreEvict measures the emission/eviction path on tumbling
+// windows: each window close discards a whole window of state at once —
+// the tree core's prefix bulk eviction against the legacy map handoff.
+func BenchmarkAggCoreEvict(b *testing.B) {
+	tuples := orderedTuples(200000)
+	spec := window.Spec{Size: 10 * stream.Second, Slide: 10 * stream.Second}
+	for _, core := range coreKinds {
+		b.Run("core="+core.String(), func(b *testing.B) {
+			driveOp(b, core, spec, tuples)
+		})
+	}
+}
+
+// BenchmarkFiBAInsertOOO isolates the tree's insert path from the
+// operator: n inserts at out-of-order distance d, reporting the mean
+// finger search length. ns/op across the d sweep is the R19 O(log d)
+// curve.
+func BenchmarkFiBAInsertOOO(b *testing.B) {
+	for _, d := range []int{0, 16, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			n := 200000
+			keys := make([]fiba.Key, n)
+			for i := range keys {
+				keys[i] = fiba.Key{TS: stream.Time(i), Seq: uint64(i)}
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := range keys {
+				j := i + rng.Intn(d+1)
+				if j < n {
+					keys[i], keys[j] = keys[j], keys[i]
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var st fiba.Stats
+			for i := 0; i < b.N; i++ {
+				tr := fiba.New[float64](fiba.SumMonoid{})
+				for _, k := range keys {
+					tr.Insert(k, 1)
+				}
+				st = tr.Stats()
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "inserts/s")
+			if searches := st.FingerSearch; searches > 0 {
+				b.ReportMetric(float64(st.FingerSteps)/float64(searches), "steps/search")
+			}
+		})
+	}
+}

@@ -85,6 +85,10 @@ type appConfig struct {
 	ingestCap int
 	shards    int // window shards for grouped queries
 	batch     int // pipeline/worker drain batch size
+	// aggCore selects the window aggregation core for every query
+	// (-aggcore): fiba (the default; order-sensitive aggregates like avg
+	// fall back per operator) or legacy.
+	aggCore   window.CoreKind
 	policy    resilience.OverloadPolicy
 	chaos     resilience.Chaos
 	chaosOn   bool
@@ -154,6 +158,7 @@ func newApp(cfg appConfig) (*app, error) {
 			q = newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
 			q.batchSize = cfg.batch
 		}
+		q.setAggCore(cfg.aggCore) // before durable recovery and first feed
 		// Tracing is always on: a per-query flight recorder over a fixed
 		// ring of recent events, served at /debug/aq/trace and dumped on
 		// panics, breaker trips and quality violations.
@@ -246,6 +251,7 @@ func main() {
 	ingestCap := flag.Int("ingest", 1024, "bounded ingest queue capacity per query")
 	shards := flag.Int("shards", 4, "window shards for grouped (GROUP BY) queries")
 	batch := flag.Int("batch", 64, "items applied per lock acquisition / pipeline transport batch")
+	aggCore := flag.String("aggcore", "fiba", "window aggregation core: fiba (finger B-tree) or legacy (per-window fold); both emit identical results")
 	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
 	traceBuf := flag.Int("trace-buf", tracez.DefaultRecorderSize, "flight-recorder ring size per query, in events")
 	traceDump := flag.String("trace-dump", "", "directory for automatic flight-recorder dumps (panic, breaker trip, quality violation); empty = off")
@@ -266,8 +272,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	core, err := window.ParseCoreKind(*aggCore)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
-		policy: policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
+		aggCore: core,
+		policy:  policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
 		traceBuf: *traceBuf, traceDump: *traceDump, log: logger,
 		durableDir: *durableDir, snapshotEvery: *snapshotInterval}
 

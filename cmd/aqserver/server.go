@@ -44,6 +44,9 @@ type queryRunner struct {
 	theta float64
 	spec  window.Spec
 	agg   window.Factory
+	// aggCore selects the window aggregation core (-aggcore flag); set via
+	// setAggCore before any tuples are fed. Defaults to the legacy core.
+	aggCore window.CoreKind
 
 	// Grouped runners (GROUP BY key) delegate their whole pipeline to
 	// cq.RunConcurrent with a fixed-slack handler, shardCount window
@@ -135,6 +138,16 @@ func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Fac
 	return q
 }
 
+// setAggCore selects the aggregation core. It rebuilds the window operator
+// (non-grouped runners) and must therefore run before any tuples are fed
+// and before durable recovery attaches.
+func (q *queryRunner) setAggCore(core window.CoreKind) {
+	q.aggCore = core
+	if !q.grouped {
+		q.op = window.NewOpWithCore(q.spec, q.agg, window.DropLate, 0, core)
+	}
+}
+
 // newKeyedQueryRunner builds a grouped (GROUP BY key) runner: per-key
 // windows with a fixed slack k, executed by the sharded concurrent engine
 // once startGrouped is called.
@@ -211,6 +224,7 @@ func (q *queryRunner) startGrouped(capacity int, policy resilience.OverloadPolic
 	query := cq.NewFallible(src).
 		Handle(buffer.NewKSlack(q.fixedK)).
 		Window(q.spec, q.agg).
+		AggCore(q.aggCore).
 		GroupBy().
 		Shards(q.shardCount).
 		Batch(q.batchSize).

@@ -1,0 +1,103 @@
+package cq
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/gen"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// intValues truncates tuple payloads to integers. The cross-core
+// byte-equivalence contract holds for exactly representable values (tree
+// partials regroup the Kahan fold, which is lossless only when no rounding
+// occurs — see docs/ALGORITHMS.md); DST workloads are integer-valued for
+// the same reason.
+func intValues(t stream.Tuple) stream.Tuple {
+	t.Value = float64(int64(t.Value))
+	return t
+}
+
+// TestAggCoreEquivalenceRun checks that the synchronous executor emits
+// byte-identical output on both aggregation cores, across aggregates and
+// late policies.
+func TestAggCoreEquivalenceRun(t *testing.T) {
+	for _, agg := range []window.Factory{window.Sum(), window.Count(), window.Max(), window.Median()} {
+		for _, refine := range []bool{false, true} {
+			mk := func(core window.CoreKind) *AggQuery {
+				q := New(gen.Sensor(20000, 61).Source()).
+					Map(intValues).
+					Handle(buffer.NewKSlack(2*stream.Second)).
+					Window(testSpec, agg).
+					AggCore(core)
+				if refine {
+					q.Refine(30 * stream.Second)
+				}
+				return q
+			}
+			legacy, err := mk(window.CoreLegacy).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fib, err := mk(window.CoreFiba).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(legacy.Results) != len(fib.Results) {
+				t.Fatalf("%s refine=%v: %d legacy results vs %d fiba",
+					agg.Name, refine, len(legacy.Results), len(fib.Results))
+			}
+			for i := range legacy.Results {
+				if legacy.Results[i] != fib.Results[i] {
+					t.Fatalf("%s refine=%v: result %d differs\nlegacy: %+v\nfiba:   %+v",
+						agg.Name, refine, i, legacy.Results[i], fib.Results[i])
+				}
+			}
+			if legacy.Op != fib.Op {
+				t.Fatalf("%s refine=%v: operator stats differ: %+v vs %+v",
+					agg.Name, refine, legacy.Op, fib.Op)
+			}
+		}
+	}
+}
+
+// TestAggCoreEquivalenceConcurrent checks the concurrent executor — plain
+// and grouped/sharded, across batch sizes — emits identical output on both
+// cores. Runs under -race via make race, covering the tree core's use from
+// the pipeline goroutines.
+func TestAggCoreEquivalenceConcurrent(t *testing.T) {
+	for _, batch := range []int{1, 64} {
+		for _, shards := range []int{0, 4} {
+			mk := func(core window.CoreKind) *AggQuery {
+				return New(keyedWorkload(8000, 62).Source()).
+					Map(intValues).
+					Handle(buffer.NewKSlack(200)).
+					Window(testSpec, window.Sum()).
+					GroupBy().
+					Batch(batch).
+					Shards(shards).
+					AggCore(core)
+			}
+			legacy, err := mk(window.CoreLegacy).RunConcurrent(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fib, err := mk(window.CoreFiba).RunConcurrent(context.Background(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(legacy.Keyed) != len(fib.Keyed) {
+				t.Fatalf("batch=%d shards=%d: %d legacy keyed results vs %d fiba",
+					batch, shards, len(legacy.Keyed), len(fib.Keyed))
+			}
+			for i := range legacy.Keyed {
+				if legacy.Keyed[i] != fib.Keyed[i] {
+					t.Fatalf("batch=%d shards=%d: keyed result %d differs\nlegacy: %+v\nfiba:   %+v",
+						batch, shards, i, legacy.Keyed[i], fib.Keyed[i])
+				}
+			}
+		}
+	}
+}

@@ -183,7 +183,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	// restore into it and replay before the pipeline launches.
 	var op *window.Op
 	if !q.grouped {
-		op = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		op = window.NewOpWithCore(q.spec, q.agg, q.policy, q.refineFor, q.aggCore)
 	}
 
 	var inputTuples []stream.Tuple

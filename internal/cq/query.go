@@ -35,6 +35,7 @@ type AggQuery struct {
 	agg       window.Factory
 	policy    window.LatePolicy
 	refineFor stream.Time
+	aggCore   window.CoreKind
 	keepInput bool
 	grouped   bool
 
@@ -98,6 +99,16 @@ func (q *AggQuery) Window(spec window.Spec, agg window.Factory) *AggQuery {
 // being dropped.
 func (q *AggQuery) Refine(horizon stream.Time) *AggQuery {
 	q.policy, q.refineFor = window.RefineLate, horizon
+	return q
+}
+
+// AggCore selects the open-window aggregation core (window.CoreLegacy or
+// window.CoreFiba) used by every executor path — synchronous, concurrent,
+// and sharded. The cores emit byte-identical results (the DST cross-core
+// oracle enforces it); fiba trades the legacy per-window fold for a finger
+// B-tree with O(log d) out-of-order inserts. See docs/ALGORITHMS.md.
+func (q *AggQuery) AggCore(core window.CoreKind) *AggQuery {
+	q.aggCore = core
 	return q
 }
 
@@ -336,13 +347,13 @@ func (q *AggQuery) Run() (*AggReport, error) {
 	var preFlushLen func() int
 	var plainOp *window.Op
 	if q.grouped {
-		op := window.NewKeyedOp(q.spec, q.agg, q.policy, q.refineFor)
+		op := window.NewKeyedOpWithCore(q.spec, q.agg, q.policy, q.refineFor, q.aggCore)
 		observe = func(t stream.Tuple, now stream.Time) { rep.Keyed = op.Observe(t, now, rep.Keyed) }
 		flushOp = func(now stream.Time) { rep.Keyed = op.Flush(now, rep.Keyed) }
 		opStats = op.Stats
 		preFlushLen = func() int { return len(rep.Keyed) }
 	} else {
-		plainOp = window.NewOp(q.spec, q.agg, q.policy, q.refineFor)
+		plainOp = window.NewOpWithCore(q.spec, q.agg, q.policy, q.refineFor, q.aggCore)
 		op := plainOp
 		observe = func(t stream.Tuple, now stream.Time) { rep.Results = op.Observe(t, now, rep.Results) }
 		flushOp = func(now stream.Time) { rep.Results = op.Flush(now, rep.Results) }

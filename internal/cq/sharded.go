@@ -77,7 +77,7 @@ func newKeyedShards(q *AggQuery, n int, fail func(error)) *keyedShards {
 	for s := 0; s < n; s++ {
 		ks.in[s] = make(chan []released, 1)
 		ks.out[s] = make(chan shardChunk) // unbuffered: see buffer-rotation note above
-		ks.ops[s] = window.NewKeyedOp(q.spec, q.agg, q.policy, q.refineFor)
+		ks.ops[s] = window.NewKeyedOpWithCore(q.spec, q.agg, q.policy, q.refineFor, q.aggCore)
 		ks.wg.Add(1)
 		go ks.worker(s, fail)
 	}

@@ -38,10 +38,16 @@ type Plan struct {
 	Heartbeat stream.Time `json:"heartbeat,omitempty"`
 
 	// Query shape.
-	Window  stream.Time `json:"window"`
-	Slide   stream.Time `json:"slide"`
-	Agg     string      `json:"agg"`              // sum | count | avg | max
-	Refine  stream.Time `json:"refine,omitempty"` // >0: RefineLate horizon
+	Window stream.Time `json:"window"`
+	Slide  stream.Time `json:"slide"`
+	Agg    string      `json:"agg"`              // sum | count | avg | max | median | distinct
+	Refine stream.Time `json:"refine,omitempty"` // >0: RefineLate horizon
+	// Core selects the window aggregation core ("" = legacy, "fiba").
+	// Whatever the plan says, Execute also runs a flipped-core reference
+	// and demands identical output, so every seed proves cross-core
+	// equivalence. Committed pre-core transcripts deserialize to "" and
+	// replay unchanged.
+	Core    string      `json:"core,omitempty"`
 	Handler HandlerPlan `json:"handler"`
 
 	// Engine shape.
@@ -143,9 +149,33 @@ func (p Plan) agg() window.Factory {
 		return window.Avg()
 	case "max":
 		return window.Max()
+	case "median":
+		return window.Median()
+	case "distinct":
+		return window.Distinct()
 	default:
 		return window.Sum()
 	}
+}
+
+// core materializes the aggregation-core selection.
+func (p Plan) core() window.CoreKind {
+	k, err := window.ParseCoreKind(p.Core)
+	if err != nil {
+		panic(fmt.Sprintf("dst: %v", err))
+	}
+	return k
+}
+
+// flipCore returns the plan with the other aggregation core selected —
+// the reference run for the cross-core equivalence contract.
+func (p Plan) flipCore() Plan {
+	if p.core() == window.CoreFiba {
+		p.Core = "legacy"
+	} else {
+		p.Core = "fiba"
+	}
+	return p
 }
 
 // grouped reports whether the plan runs a GROUP BY query.
@@ -210,9 +240,9 @@ func (p Plan) String() string {
 	} else if h == "kslack" {
 		h = fmt.Sprintf("kslack(%d)", p.Handler.K)
 	}
-	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d h=%s batch=%d shards=%d chaos=%+v}",
+	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d core=%s h=%s batch=%d shards=%d chaos=%+v}",
 		p.Seed, p.N, p.NumKeys, p.Delay.Kind, p.Delay.Mean, p.Heartbeat,
-		p.Window, p.Slide, p.Agg, p.Refine, h, p.Batch, p.Shards, p.Chaos)
+		p.Window, p.Slide, p.Agg, p.Refine, p.core(), h, p.Batch, p.Shards, p.Chaos)
 }
 
 // PlanForSeed derives one point of the sweep matrix from a seed. Every
@@ -262,7 +292,7 @@ func PlanForSeed(seed uint64) Plan {
 	}
 	if p.Handler.Kind != "aq" {
 		if rng.Float64() < 0.5 {
-			p.Agg = []string{"sum", "count", "avg", "max"}[rng.Intn(4)]
+			p.Agg = []string{"sum", "count", "avg", "max", "median", "distinct"}[rng.Intn(6)]
 		}
 		if rng.Float64() < 0.25 {
 			p.Refine = 2 * p.Window
@@ -289,6 +319,12 @@ func PlanForSeed(seed uint64) Plan {
 		p.Chaos.StallRate, p.Chaos.StallMS = 0.005, 2
 	case 6:
 		p.Chaos.CutAfter = int64(p.N) * 3 / 4
+	}
+
+	// Core is drawn LAST so its addition did not perturb the plans (and
+	// committed transcripts) earlier seeds already pinned.
+	if rng.Float64() < 0.5 {
+		p.Core = "fiba"
 	}
 	return p
 }

@@ -118,7 +118,9 @@ func (a *maxAgg) N() int64 { return a.n }
 // quantileAgg computes an exact quantile of the window contents. Windows
 // are bounded, so exact computation (sort at read time) is affordable and
 // keeps the oracle comparison sharp; Value caches the sort until the next
-// Add.
+// Add, and an Add into an already-sorted sample inserts in place rather
+// than invalidating the cache — interleaved Add/Value (refinement reads)
+// would otherwise re-sort the full sample per tuple.
 type quantileAgg struct {
 	p      float64
 	vals   []float64
@@ -126,6 +128,13 @@ type quantileAgg struct {
 }
 
 func (a *quantileAgg) Add(v float64) {
+	if a.sorted && len(a.vals) > 0 {
+		i := sort.SearchFloat64s(a.vals, v)
+		a.vals = append(a.vals, 0)
+		copy(a.vals[i+1:], a.vals[i:])
+		a.vals[i] = v
+		return
+	}
 	a.vals = append(a.vals, v)
 	a.sorted = false
 }

@@ -1,0 +1,186 @@
+package window
+
+import (
+	"repro/internal/fiba"
+	"repro/internal/stream"
+)
+
+// This file implements the operator's CoreFiba evaluation path: instead of
+// adding each tuple to every open window's Aggregate (Size/Slide map
+// updates per tuple), the tuple is stored once in a finger B-tree
+// aggregator keyed by (TS, Seq), and a closing window's aggregate is
+// materialized at emission by one range query over the window's event-time
+// bounds. The tree's cached partials carry the exact merge arithmetic of
+// the legacy aggregates (merge.go), so both cores emit byte-identical
+// results — the contract the DST cross-core oracle enforces.
+
+// fibaMode classifies how a Factory's aggregate runs on the tree core.
+type fibaMode uint8
+
+const (
+	// fibaOff: the aggregate's result depends on fold order (avg and
+	// stddev use Welford updates, which are numerically order-sensitive),
+	// so the operator transparently falls back to the legacy maps.
+	fibaOff fibaMode = iota
+	fibaCount
+	fibaSum
+	fibaMin
+	fibaMax
+	// fibaScan: order statistics and distinct counts need the window's
+	// value multiset, not a scalar partial. The tree serves as the ordered
+	// tuple index (count-only partials answer the emptiness/count query);
+	// emission walks the window's leaf range in key order and feeds a
+	// fresh legacy aggregate.
+	fibaScan
+)
+
+// fibaModeFor classifies a factory by the concrete aggregate it builds.
+func fibaModeFor(f Factory) fibaMode {
+	switch f.New().(type) {
+	case *countAgg:
+		return fibaCount
+	case *sumAgg:
+		return fibaSum
+	case *minAgg:
+		return fibaMin
+	case *maxAgg:
+		return fibaMax
+	case *quantileAgg, *distinctAgg:
+		return fibaScan
+	default:
+		return fibaOff
+	}
+}
+
+// treePart is the node partial cached by the window cores: the add count
+// plus the scalar state of the mergeable aggregate — (sum, Kahan carry)
+// for sums, the extremum for min/max, unused for count and scan modes.
+type treePart struct {
+	n    int64
+	a, b float64
+}
+
+// treeMonoid implements fiba.Monoid[treePart] for one mode. Combine
+// replicates the MergeFrom arithmetic of the corresponding aggregate
+// (merge.go) bit for bit, which is what makes tree-combined partials
+// byte-identical to sequentially folded ones for exactly representable
+// inputs (the DST workloads' integer payloads).
+type treeMonoid struct{ mode fibaMode }
+
+// Identity implements fiba.Monoid.
+func (treeMonoid) Identity() treePart { return treePart{} }
+
+// Lift implements fiba.Monoid.
+func (m treeMonoid) Lift(v float64) treePart {
+	switch m.mode {
+	case fibaSum, fibaMin, fibaMax:
+		return treePart{n: 1, a: v}
+	default:
+		return treePart{n: 1}
+	}
+}
+
+// Combine implements fiba.Monoid.
+func (m treeMonoid) Combine(x, y treePart) treePart {
+	if x.n == 0 {
+		return y
+	}
+	if y.n == 0 {
+		return x
+	}
+	out := treePart{n: x.n + y.n}
+	switch m.mode {
+	case fibaSum:
+		// sumAgg.MergeFrom's compensated fold: a = sum, b = Kahan carry.
+		yv := y.a - x.b
+		t := x.a + yv
+		out.b = (t - x.a) - yv + y.b
+		out.a = t
+	case fibaMin:
+		out.a = x.a
+		if y.a < out.a {
+			out.a = y.a
+		}
+	case fibaMax:
+		out.a = x.a
+		if y.a > out.a {
+			out.a = y.a
+		}
+	}
+	return out
+}
+
+// fibaState is the per-operator state of the tree core.
+type fibaState struct {
+	mode fibaMode
+	tree *fiba.Tree[treePart]
+}
+
+// newFibaState builds the tree core for a factory, or returns nil when the
+// aggregate requires the legacy fold (the operator then falls back).
+func newFibaState(f Factory) *fibaState {
+	mode := fibaModeFor(f)
+	if mode == fibaOff {
+		return nil
+	}
+	return &fibaState{mode: mode, tree: fiba.New[treePart](treeMonoid{mode: mode})}
+}
+
+// aggFor materializes the legacy-typed Aggregate for the window [start,
+// end) from the tree, or nil when the window is empty. The concrete
+// aggregate carries the exact state sequential adds would have produced,
+// so downstream refinement (RefineLate retains it) behaves identically.
+func (s *fibaState) aggFor(f Factory, start, end stream.Time) Aggregate {
+	part := s.tree.RangeAgg(start, end)
+	if part.n == 0 {
+		return nil
+	}
+	switch s.mode {
+	case fibaCount:
+		return &countAgg{n: part.n}
+	case fibaSum:
+		return &sumAgg{n: part.n, sum: part.a, c: part.b}
+	case fibaMin:
+		return &minAgg{n: part.n, v: part.a}
+	case fibaMax:
+		return &maxAgg{n: part.n, v: part.a}
+	default: // fibaScan: replay the window's values in key order
+		a := f.New()
+		s.tree.RangeEach(start, end, a.Add)
+		return a
+	}
+}
+
+// FactoryMonoid adapts a window Factory to a fiba.Monoid over Aggregate
+// values, using the Mergeable combine every built-in aggregate implements.
+// nil is the identity; Combine clones through the snapshot codec so cached
+// tree partials are never mutated. The operator's own core uses the
+// specialized treePart instead (scalar partials, no boxing); this adapter
+// is the general bridge for any mergeable factory — tests use it to
+// cross-check the specialized arithmetic.
+func FactoryMonoid(f Factory) fiba.Monoid[Aggregate] { return aggMonoid{f: f} }
+
+type aggMonoid struct{ f Factory }
+
+// Identity implements fiba.Monoid.
+func (aggMonoid) Identity() Aggregate { return nil }
+
+// Lift implements fiba.Monoid.
+func (m aggMonoid) Lift(v float64) Aggregate {
+	a := m.f.New()
+	a.Add(v)
+	return a
+}
+
+// Combine implements fiba.Monoid.
+func (m aggMonoid) Combine(a, b Aggregate) Aggregate {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	c := RestoreAggregate(m.f, SaveAggregate(a))
+	c.(Mergeable).MergeFrom(b)
+	return c
+}

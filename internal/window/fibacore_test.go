@@ -1,0 +1,296 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/fiba"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// genTuples builds a d-bounded out-of-order stream of n integer-valued
+// tuples with timestamps spread over several windows.
+func genTuples(rng *rand.Rand, n, d int) []stream.Tuple {
+	ts := make([]stream.Time, n)
+	for i := range ts {
+		ts[i] = stream.Time(i * 7 / 3) // ~2.3 ticks apart, duplicates included
+	}
+	// d-bounded shuffle: swap each position with one up to d ahead.
+	for i := range ts {
+		j := i + rng.Intn(d+1)
+		if j < n {
+			ts[i], ts[j] = ts[j], ts[i]
+		}
+	}
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{
+			Seq:   uint64(i),
+			TS:    ts[i],
+			Key:   uint64(rng.Intn(5)),
+			Value: float64(rng.Intn(2000) - 1000),
+		}
+	}
+	return tuples
+}
+
+func resultsEqual(a, b Result) bool {
+	sameVal := a.Value == b.Value || (math.IsNaN(a.Value) && math.IsNaN(b.Value))
+	return a.Idx == b.Idx && a.Start == b.Start && a.End == b.End && sameVal &&
+		a.Count == b.Count && a.EmitArrival == b.EmitArrival && a.Refinement == b.Refinement
+}
+
+// TestCoreEquivalence drives the legacy and fiba cores through identical
+// d-bounded out-of-order streams, for every factory and both late
+// policies, and requires bit-identical emitted results at every step.
+func TestCoreEquivalence(t *testing.T) {
+	specs := []Spec{
+		{Size: 10, Slide: 10}, // tumbling
+		{Size: 20, Slide: 5},  // overlap 4
+		{Size: 30, Slide: 7},  // slide not dividing size
+	}
+	factories := []Factory{Count(), Sum(), Min(), Max(), Median(), Quantile(0.95), Distinct(), Avg(), StdDev()}
+	policies := []LatePolicy{DropLate, RefineLate}
+	for _, spec := range specs {
+		for _, f := range factories {
+			for _, pol := range policies {
+				rng := rand.New(rand.NewSource(int64(spec.Size)*1000 + int64(len(f.Name))))
+				tuples := genTuples(rng, 1500, 40)
+				legacy := NewOpWithCore(spec, f, pol, 100, CoreLegacy)
+				tree := NewOpWithCore(spec, f, pol, 100, CoreFiba)
+				var lOut, tOut []Result
+				for i, tp := range tuples {
+					now := stream.Time(i)
+					lOut = legacy.Observe(tp, now, lOut[:0])
+					tOut = tree.Observe(tp, now, tOut[:0])
+					compareResults(t, f.Name, spec, pol, lOut, tOut)
+				}
+				lOut = legacy.Flush(9999, lOut[:0])
+				tOut = tree.Flush(9999, tOut[:0])
+				compareResults(t, f.Name, spec, pol, lOut, tOut)
+				if legacy.Stats() != tree.Stats() {
+					t.Fatalf("%s %v %v: stats diverge: legacy=%+v fiba=%+v",
+						f.Name, spec, pol, legacy.Stats(), tree.Stats())
+				}
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, name string, spec Spec, pol LatePolicy, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s %v %v: emitted %d results on fiba, want %d\nlegacy=%v\nfiba=%v",
+			name, spec, pol, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if !resultsEqual(want[i], got[i]) {
+			t.Fatalf("%s %v %v: result %d diverges\nlegacy=%v\nfiba=%v",
+				name, spec, pol, i, want[i], got[i])
+		}
+	}
+}
+
+// TestCoreFallback verifies that order-sensitive aggregates silently fall
+// back to the legacy core, and tree-friendly ones do not.
+func TestCoreFallback(t *testing.T) {
+	spec := Spec{Size: 10, Slide: 5}
+	for _, tc := range []struct {
+		f    Factory
+		want CoreKind
+	}{
+		{Count(), CoreFiba}, {Sum(), CoreFiba}, {Min(), CoreFiba}, {Max(), CoreFiba},
+		{Median(), CoreFiba}, {Quantile(0.9), CoreFiba}, {Distinct(), CoreFiba},
+		{Avg(), CoreLegacy}, {StdDev(), CoreLegacy},
+	} {
+		op := NewOpWithCore(spec, tc.f, DropLate, 0, CoreFiba)
+		if op.Core() != tc.want {
+			t.Errorf("%s: Core() = %v, want %v", tc.f.Name, op.Core(), tc.want)
+		}
+	}
+	if op := NewOp(spec, Sum(), DropLate, 0); op.Core() != CoreLegacy {
+		t.Errorf("NewOp: Core() = %v, want legacy", op.Core())
+	}
+}
+
+// TestFibaSnapshotRoundTrip snapshots a fiba-core operator mid-stream,
+// restores into a fresh operator, and requires the suffix output to match
+// an uninterrupted run bit for bit.
+func TestFibaSnapshotRoundTrip(t *testing.T) {
+	spec := Spec{Size: 20, Slide: 5}
+	for _, f := range []Factory{Sum(), Quantile(0.95)} {
+		rng := rand.New(rand.NewSource(7))
+		tuples := genTuples(rng, 1200, 60)
+		cont := NewOpWithCore(spec, f, RefineLate, 50, CoreFiba)
+		snap := NewOpWithCore(spec, f, RefineLate, 50, CoreFiba)
+		var a, b []Result
+		cut := 700
+		for i, tp := range tuples[:cut] {
+			a = cont.Observe(tp, stream.Time(i), a[:0])
+			b = snap.Observe(tp, stream.Time(i), b[:0])
+		}
+		st := snap.State()
+		if len(st.Open) != 0 {
+			t.Fatalf("%s: fiba snapshot exported open-window maps", f.Name)
+		}
+		if len(st.Tree) == 0 {
+			t.Fatalf("%s: fiba snapshot exported no tree entries", f.Name)
+		}
+		restored := NewOpWithCore(spec, f, RefineLate, 50, CoreFiba)
+		restored.Restore(st)
+		for i, tp := range tuples[cut:] {
+			now := stream.Time(cut + i)
+			a = cont.Observe(tp, now, a[:0])
+			b = restored.Observe(tp, now, b[:0])
+			compareResults(t, f.Name, spec, RefineLate, a, b)
+		}
+		a = cont.Flush(9999, a[:0])
+		b = restored.Flush(9999, b[:0])
+		compareResults(t, f.Name, spec, RefineLate, a, b)
+	}
+}
+
+// TestSnapshotCoreMismatchPanics checks that restoring across cores fails
+// loudly instead of silently dropping buffered state.
+func TestSnapshotCoreMismatchPanics(t *testing.T) {
+	spec := Spec{Size: 10, Slide: 5}
+	tup := stream.Tuple{Seq: 1, TS: 3, Value: 42}
+
+	fibaOp := NewOpWithCore(spec, Sum(), DropLate, 0, CoreFiba)
+	fibaOp.Observe(tup, 0, nil)
+	treeState := fibaOp.State()
+
+	legacyOp := NewOp(spec, Sum(), DropLate, 0)
+	legacyOp.Observe(tup, 0, nil)
+	legacyState := legacyOp.State()
+
+	mustPanic(t, "legacy restore of tree snapshot", func() {
+		NewOp(spec, Sum(), DropLate, 0).Restore(treeState)
+	})
+	mustPanic(t, "fiba restore of legacy snapshot", func() {
+		NewOpWithCore(spec, Sum(), DropLate, 0, CoreFiba).Restore(legacyState)
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestFactoryMonoidMatchesTreePart cross-checks the specialized treePart
+// arithmetic against the generic Mergeable-based FactoryMonoid: both tree
+// variants must produce identical range aggregates.
+func TestFactoryMonoidMatchesTreePart(t *testing.T) {
+	for _, f := range []Factory{Count(), Sum(), Min(), Max()} {
+		rng := rand.New(rand.NewSource(11))
+		spec := treeMonoid{mode: fibaModeFor(f)}
+		fast := fiba.New[treePart](spec)
+		gen := fiba.New[Aggregate](FactoryMonoid(f))
+		for i := 0; i < 3000; i++ {
+			k := fiba.Key{TS: stream.Time(rng.Intn(500)), Seq: uint64(i)}
+			v := float64(rng.Intn(200) - 100)
+			fast.Insert(k, v)
+			gen.Insert(k, v)
+		}
+		for q := 0; q < 50; q++ {
+			lo := stream.Time(rng.Intn(400))
+			hi := lo + stream.Time(rng.Intn(100)+1)
+			fp := fast.RangeAgg(lo, hi)
+			gp := gen.RangeAgg(lo, hi)
+			if gp == nil {
+				if fp.n != 0 {
+					t.Fatalf("%s [%d,%d): treePart n=%d, FactoryMonoid empty", f.Name, lo, hi, fp.n)
+				}
+				continue
+			}
+			want := SaveAggregate(gp)
+			var got AggState
+			switch fibaModeFor(f) {
+			case fibaCount:
+				got = AggState{N: fp.n}
+			case fibaSum:
+				got = AggState{N: fp.n, Nums: []float64{fp.a, fp.b}}
+			default:
+				got = AggState{N: fp.n, Nums: []float64{fp.a}}
+			}
+			if got.N != want.N || len(got.Nums) != len(want.Nums) {
+				t.Fatalf("%s [%d,%d): treePart=%+v FactoryMonoid=%+v", f.Name, lo, hi, got, want)
+			}
+			for i := range got.Nums {
+				if got.Nums[i] != want.Nums[i] {
+					t.Fatalf("%s [%d,%d): scalar %d: treePart=%v FactoryMonoid=%v",
+						f.Name, lo, hi, i, got.Nums[i], want.Nums[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParseCoreKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want CoreKind
+		err  bool
+	}{
+		{"", CoreLegacy, false},
+		{"legacy", CoreLegacy, false},
+		{"fiba", CoreFiba, false},
+		{"btree", 0, true},
+	} {
+		got, err := ParseCoreKind(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseCoreKind(%q): expected error", tc.in)
+			} else if !strings.Contains(err.Error(), tc.in) {
+				t.Errorf("ParseCoreKind(%q): error %v does not name the input", tc.in, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCoreKind(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, k := range []CoreKind{CoreLegacy, CoreFiba} {
+		rt, err := ParseCoreKind(k.String())
+		if err != nil || rt != k {
+			t.Errorf("round-trip %v: got %v, %v", k, rt, err)
+		}
+	}
+}
+
+// TestQuantileSortedInsert covers the in-place sorted insert on
+// interleaved Add/Value: the sample must stay sorted and values must match
+// a from-scratch computation.
+func TestQuantileSortedInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Median().New().(*quantileAgg)
+	var all []float64
+	for i := 0; i < 500; i++ {
+		v := float64(rng.Intn(100))
+		a.Add(v)
+		all = append(all, v)
+		if i%3 == 0 { // force the sorted state, then keep adding
+			ref := append([]float64(nil), all...)
+			sort.Float64s(ref)
+			want := stats.PercentileSorted(ref, 0.5)
+			if got := a.Value(); got != want {
+				t.Fatalf("step %d: median = %v, want %v", i, got, want)
+			}
+			if !sort.Float64sAreSorted(a.vals) {
+				t.Fatalf("step %d: sample not sorted after Value", i)
+			}
+		}
+	}
+	if a.sorted && !sort.Float64sAreSorted(a.vals) {
+		t.Fatal("sorted flag set on unsorted sample")
+	}
+}

@@ -32,6 +32,7 @@ type KeyedOp struct {
 	agg       Factory
 	policy    LatePolicy
 	refineFor stream.Time
+	core      CoreKind
 	ops       map[uint64]*Op
 	keys      []uint64 // every key with state; sorted unless keysDirty
 	keysDirty bool
@@ -41,14 +42,21 @@ type KeyedOp struct {
 	blockBuf  []KeyedResult // rotation scratch for mergeOwnBlock
 }
 
-// NewKeyedOp returns a per-key window operator. It panics on an invalid
-// spec.
+// NewKeyedOp returns a per-key window operator on the legacy aggregation
+// core. It panics on an invalid spec.
 func NewKeyedOp(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time) *KeyedOp {
+	return NewKeyedOpWithCore(spec, agg, policy, refineFor, CoreLegacy)
+}
+
+// NewKeyedOpWithCore returns a per-key window operator whose per-key Ops
+// run on the selected aggregation core (see NewOpWithCore). It panics on
+// an invalid spec.
+func NewKeyedOpWithCore(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time, core CoreKind) *KeyedOp {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
 	return &KeyedOp{
-		spec: spec, agg: agg, policy: policy, refineFor: refineFor,
+		spec: spec, agg: agg, policy: policy, refineFor: refineFor, core: core,
 		ops: make(map[uint64]*Op),
 	}
 }
@@ -66,7 +74,7 @@ func (o *KeyedOp) Keys() int { return len(o.ops) }
 func (o *KeyedOp) Observe(t stream.Tuple, now stream.Time, out []KeyedResult) []KeyedResult {
 	op, ok := o.ops[t.Key]
 	if !ok {
-		op = NewOp(o.spec, o.agg, o.policy, o.refineFor)
+		op = NewOpWithCore(o.spec, o.agg, o.policy, o.refineFor, o.core)
 		o.ops[t.Key] = op
 		o.keys = append(o.keys, t.Key)
 		o.keysDirty = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fiba"
 	"repro/internal/stream"
 )
 
@@ -74,6 +75,7 @@ type Op struct {
 	refineFor stream.Time // retain emitted state this long past the clock
 
 	open      map[int64]Aggregate
+	fib       *fibaState          // non-nil: CoreFiba replaces the open map
 	retained  map[int64]Aggregate // emitted windows kept for refinement
 	nextEmit  int64
 	haveFirst bool
@@ -82,15 +84,24 @@ type Op struct {
 	stats     OpStats
 }
 
-// NewOp returns a window operator. refineFor bounds how long (in stream
-// time past the operator clock) emitted window state is retained when
-// policy is RefineLate; it is ignored for DropLate. It panics on an
-// invalid spec.
+// NewOp returns a window operator on the legacy aggregation core.
+// refineFor bounds how long (in stream time past the operator clock)
+// emitted window state is retained when policy is RefineLate; it is
+// ignored for DropLate. It panics on an invalid spec.
 func NewOp(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time) *Op {
+	return NewOpWithCore(spec, agg, policy, refineFor, CoreLegacy)
+}
+
+// NewOpWithCore returns a window operator on the selected aggregation
+// core. CoreFiba stores open-window tuples once in a finger B-tree and
+// materializes aggregates at emission; factories the tree cannot serve
+// byte-identically (avg, stddev) silently fall back to the legacy core —
+// Core reports the effective choice. Both cores emit identical results.
+func NewOpWithCore(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time, core CoreKind) *Op {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	return &Op{
+	o := &Op{
 		spec:      spec,
 		agg:       agg,
 		policy:    policy,
@@ -98,10 +109,23 @@ func NewOp(spec Spec, agg Factory, policy LatePolicy, refineFor stream.Time) *Op
 		open:      make(map[int64]Aggregate),
 		retained:  make(map[int64]Aggregate),
 	}
+	if core == CoreFiba {
+		o.fib = newFibaState(agg)
+	}
+	return o
 }
 
 // Spec returns the operator's window specification.
 func (o *Op) Spec() Spec { return o.spec }
+
+// Core returns the effective aggregation core: CoreFiba only when it was
+// requested and the factory supports tree evaluation.
+func (o *Op) Core() CoreKind {
+	if o.fib != nil {
+		return CoreFiba
+	}
+	return CoreLegacy
+}
 
 // Stats returns cumulative counters.
 func (o *Op) Stats() OpStats { return o.stats }
@@ -131,6 +155,12 @@ func (o *Op) Observe(t stream.Tuple, now stream.Time, out []Result) []Result {
 			}
 			o.stats.LateDrops++
 			continue
+		}
+		if o.fib != nil {
+			// One tree insert covers every not-yet-emitted window containing
+			// the tuple: each reads it back by event-time range at emission.
+			o.fib.tree.Insert(fiba.Key{TS: t.TS, Seq: t.Seq}, t.Value)
+			break
 		}
 		agg, ok := o.open[idx]
 		if !ok {
@@ -171,6 +201,16 @@ func (o *Op) Flush(now stream.Time, out []Result) []Result {
 		return out
 	}
 	maxIdx := o.nextEmit - 1
+	if o.fib != nil {
+		// The last occupied window is the one ending at the tree's maximum
+		// timestamp — evicted entries can only have belonged to windows
+		// below nextEmit, which never re-emit.
+		if k, ok := o.fib.tree.MaxKey(); ok {
+			if idx := floorDiv(k.TS, o.spec.Slide); idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+	}
 	for idx := range o.open {
 		if idx > maxIdx {
 			maxIdx = idx
@@ -184,8 +224,14 @@ func (o *Op) Flush(now stream.Time, out []Result) []Result {
 
 // emit produces the primary result for window idx and advances nextEmit.
 func (o *Op) emit(idx int64, now stream.Time, out []Result) []Result {
-	agg := o.open[idx]
-	delete(o.open, idx)
+	var agg Aggregate
+	if o.fib != nil {
+		start, end := o.spec.Bounds(idx)
+		agg = o.fib.aggFor(o.agg, start, end)
+	} else {
+		agg = o.open[idx]
+		delete(o.open, idx)
+	}
 	if agg == nil {
 		agg = o.agg.New()
 		o.stats.EmptyEmitted++
@@ -197,6 +243,12 @@ func (o *Op) emit(idx int64, now stream.Time, out []Result) []Result {
 	}
 	if idx >= o.nextEmit {
 		o.nextEmit = idx + 1
+	}
+	if o.fib != nil {
+		// Bulk-evict the prefix no future window can read: every window from
+		// nextEmit on starts at or after nextEmit·Slide, and anything older
+		// arriving later is late by definition (handled off-tree).
+		o.fib.tree.EvictBelow(stream.Time(o.nextEmit) * o.spec.Slide)
 	}
 	return out
 }

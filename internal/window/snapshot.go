@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fiba"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
@@ -110,10 +111,25 @@ type WinAgg struct {
 	Agg AggState `json:"agg"`
 }
 
+// TreeEntry is one buffered tuple of the fiba core's ordered index. The
+// tree snapshots as its sorted entry list: restoring bulk-inserts the
+// entries, which rebuilds an equivalent tree in O(n) and keeps snapshot
+// bytes independent of the insertion history.
+type TreeEntry struct {
+	TS  stream.Time `json:"ts"`
+	Seq uint64      `json:"seq"`
+	Val float64     `json:"val"`
+}
+
 // OpState is the exported state of a window operator. Open and Retained are
 // sorted by window index so snapshot bytes are deterministic.
 type OpState struct {
-	Open      []WinAgg    `json:"open,omitempty"`
+	Open []WinAgg `json:"open,omitempty"`
+	// Tree replaces Open when the operator runs the fiba core: the buffered
+	// tuples themselves, in key order. A snapshot taken on one core cannot
+	// be restored on the other (Restore panics), so a durable query must
+	// keep its core across restarts or start from a clean directory.
+	Tree      []TreeEntry `json:"tree,omitempty"`
 	Retained  []WinAgg    `json:"retained,omitempty"`
 	NextEmit  int64       `json:"nextEmit"`
 	HaveFirst bool        `json:"haveFirst"`
@@ -144,7 +160,7 @@ func restoreWinAggs(f Factory, was []WinAgg) map[int64]Aggregate {
 
 // State exports the operator state.
 func (o *Op) State() OpState {
-	return OpState{
+	st := OpState{
 		Open:      saveWinAggs(o.open),
 		Retained:  saveWinAggs(o.retained),
 		NextEmit:  o.nextEmit,
@@ -153,13 +169,43 @@ func (o *Op) State() OpState {
 		Started:   o.started,
 		Stats:     o.stats,
 	}
+	if o.fib != nil {
+		ents := o.fib.tree.Entries(nil)
+		if len(ents) > 0 {
+			st.Tree = make([]TreeEntry, len(ents))
+			for i, e := range ents {
+				st.Tree[i] = TreeEntry{TS: e.TS, Seq: e.Seq, Val: e.Val}
+			}
+		}
+	}
+	return st
 }
 
 // Restore sets the operator to a previously exported state. The operator
-// must have been built with the same spec, factory, and policy as the one
-// the state was saved from.
+// must have been built with the same spec, factory, policy and aggregation
+// core as the one the state was saved from; a core mismatch panics (the
+// legacy core's per-window partials cannot be turned back into tuples).
 func (o *Op) Restore(st OpState) {
-	o.open = restoreWinAggs(o.agg, st.Open)
+	if o.fib != nil {
+		if len(st.Open) > 0 {
+			panic("window: snapshot holds legacy open-window state but the operator runs the fiba core; restart on -aggcore=legacy or clear the durable directory")
+		}
+		fresh := newFibaState(o.agg)
+		if len(st.Tree) > 0 {
+			ents := make([]fiba.Entry, len(st.Tree))
+			for i, e := range st.Tree {
+				ents[i] = fiba.Entry{Key: fiba.Key{TS: e.TS, Seq: e.Seq}, Val: e.Val}
+			}
+			fresh.tree.InsertBatch(ents)
+		}
+		o.fib = fresh
+		o.open = make(map[int64]Aggregate)
+	} else {
+		if len(st.Tree) > 0 {
+			panic("window: snapshot holds fiba tree state but the operator runs the legacy core; restart on -aggcore=fiba or clear the durable directory")
+		}
+		o.open = restoreWinAggs(o.agg, st.Open)
+	}
 	o.retained = restoreWinAggs(o.agg, st.Retained)
 	o.nextEmit = st.NextEmit
 	o.haveFirst = st.HaveFirst

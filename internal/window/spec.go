@@ -5,6 +5,16 @@
 // interval [i·Slide, i·Slide + Size). A tuple with event timestamp ts
 // belongs to every window whose interval contains ts — Size/Slide windows
 // for the usual case where Slide divides Size.
+//
+// The operator (Op, and its per-key form KeyedOp) evaluates one aggregate
+// Factory over that window lattice under a late-tuple policy, and offers
+// two pluggable open-window aggregation cores (CoreKind): the legacy
+// per-window fold, which adds each tuple to every open window's Aggregate,
+// and the fiba core, which stores each tuple once in a finger B-tree
+// aggregator (internal/fiba) and materializes a window at emission by a
+// range query over cached monoid partials. The cores are byte-equivalent
+// on emitted output — docs/ALGORITHMS.md derives why — and the choice is
+// surfaced as cq.AggQuery.AggCore and aqserver's -aggcore flag.
 package window
 
 import (
