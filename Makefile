@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-transport bench-trace bench-journal bench-aggcore dst crash cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-transport bench-trace bench-journal bench-aggcore bench-fanout dst crash cover
 
 check: vet build race fuzz-short dst crash doccheck
 
@@ -78,7 +78,7 @@ doccheck:
 
 # Run every per-PR benchmark gate.
 BENCHTIME ?= 5x
-bench: bench-transport bench-aggcore
+bench: bench-transport bench-aggcore bench-fanout
 
 # PR3 performance gate: run the transport/sharding benchmarks and commit
 # the parsed numbers. BENCH_PR3.json records ns/op, allocs/op and
@@ -117,6 +117,19 @@ bench-aggcore:
 	$(GO) test -bench 'BenchmarkAggCore|BenchmarkFiBAInsert' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR7.json
+
+# PR8 performance gate: M queries over one shared-source broadcast ring
+# versus M fully independent ingest loops, at M in {1, 2, 4, 8}. The
+# aggregate tuples/s at q=8 must be >= 3x the independent baseline:
+# ingest (1M-tuple generation, chaos decoration, retry wrapper — and the
+# allocation/GC load that comes with it) is paid once instead of per
+# query (EXPERIMENTS.md R20). Iterations run seconds each at this
+# segment size, so a small -benchtime is already noise-stable.
+bench-fanout: BENCHTIME = 3x
+bench-fanout:
+	$(GO) test -bench 'BenchmarkFanout' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 30m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR8.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

@@ -65,6 +65,13 @@ func (q *queryRunner) attachDurable(log *durable.QueryLog) error {
 		q.process(it)
 	}
 	q.replaying = false
+	// The snapshot carries an explicit rebase, but a runner that died
+	// before its first snapshot cut recovers by journal replay alone —
+	// floor the rebase past the replayed horizon too, so the restarted
+	// feed never rewinds event time on either recovery path.
+	if base := q.now + stream.Second; base > stream.Time(q.feedBase.Load()) {
+		q.feedBase.Store(int64(base))
+	}
 	rs.ReplayedItems = len(rec.Suffix)
 	rs.SuppressedResults = q.suppressed
 	q.recovery = rs

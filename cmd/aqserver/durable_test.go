@@ -29,6 +29,7 @@ func TestDurableRestartRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel() // stop the feeds even if an assertion fatals
 	a.startFeeds(ctx)
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -94,6 +95,7 @@ func TestDurableRestartRecovers(t *testing.T) {
 
 	// The recovered runners keep working: feed more and watch counters move.
 	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
 	b.startFeeds(ctx2)
 	base := b.runners[0].status().TuplesIn
 	deadline = time.Now().Add(10 * time.Second)

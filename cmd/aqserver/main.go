@@ -85,6 +85,11 @@ type appConfig struct {
 	ingestCap int
 	shards    int // window shards for grouped queries
 	batch     int // pipeline/worker drain batch size
+	// fanout runs N replica queries per stream over one shared-source
+	// broadcast ring (-fanout): generation, chaos and retry are paid once
+	// per stream by a single producer instead of once per query. 1 =
+	// independent ingest per query (the classic feedLoop).
+	fanout int
 	// aggCore selects the window aggregation core for every query
 	// (-aggcore): fiba (the default; order-sensitive aggregates like avg
 	// fall back per operator) or legacy.
@@ -113,9 +118,14 @@ type app struct {
 	srv     *server
 	log     *slog.Logger
 	runners []*queryRunner
-	loads   []func(seed uint64) gen.Config
-	dlogs   []*durable.QueryLog
-	wg      sync.WaitGroup
+	// groups partitions runners by stream: one entry per spec, holding
+	// that stream's replicas (a single runner unless -fanout > 1). loads
+	// and bases are index-aligned with groups.
+	groups [][]*queryRunner
+	bases  []string
+	loads  []func(seed uint64) gen.Config
+	dlogs  []*durable.QueryLog
+	wg     sync.WaitGroup
 }
 
 func newApp(cfg appConfig) (*app, error) {
@@ -150,76 +160,102 @@ func newApp(cfg appConfig) (*app, error) {
 				return c
 			}},
 	}
+	replicas := 1
+	if cfg.fanout > 1 {
+		replicas = cfg.fanout
+	}
 	for _, sp := range specs {
-		var q *queryRunner
-		if sp.grouped {
-			q = newKeyedQueryRunner(sp.name, sp.spec, sp.agg, 200*stream.Millisecond, cfg.shards, cfg.batch)
-		} else {
-			q = newQueryRunner(sp.name, sp.theta, sp.spec, sp.agg)
-			q.batchSize = cfg.batch
-		}
-		q.setAggCore(cfg.aggCore) // before durable recovery and first feed
-		// Tracing is always on: a per-query flight recorder over a fixed
-		// ring of recent events, served at /debug/aq/trace and dumped on
-		// panics, breaker trips and quality violations.
-		rec := tracez.NewRecorder(cfg.traceBuf)
-		tr := tracez.New(rec, sp.name)
-		var wd *tracez.Watchdog
-		if sp.theta > 0 {
-			wd = tracez.NewWatchdog(sp.theta, nil)
-			tr.SetWatchdog(wd)
-		}
-		q.log = slog.New(tracez.NewLogHandler(cfg.log.Handler(), rec)).With("query", sp.name)
-		if cfg.traceDump != "" {
-			installDumpSink(tr, cfg.traceDump, q.log)
-		}
-		q.setTracer(tr, wd)
-		if a.srv.reg != nil {
-			q.instrument(a.srv.reg)
-		}
-		if cfg.durableDir != "" {
-			if sp.grouped {
-				q.log.Warn("durability is not supported for grouped queries; running without")
-			} else {
-				opts := durable.Options{
-					Dir:           filepath.Join(cfg.durableDir, sp.name),
-					CommitEvery:   cfg.batch,
-					SnapshotEvery: cfg.snapshotEvery,
-				}
-				if a.srv.reg != nil {
-					opts.Metrics = durable.NewMetrics(a.srv.reg, obs.L("query", sp.name))
-				}
-				dlog, err := durable.Open(opts)
-				if err != nil {
-					return nil, fmt.Errorf("open durable dir for %s: %w", sp.name, err)
-				}
-				if err := q.attachDurable(dlog); err != nil {
-					return nil, fmt.Errorf("recover %s: %w", sp.name, err)
-				}
-				a.dlogs = append(a.dlogs, dlog)
+		var group []*queryRunner
+		for r := 0; r < replicas; r++ {
+			name := sp.name
+			if replicas > 1 {
+				name = fmt.Sprintf("%s#%d", sp.name, r)
 			}
+			var q *queryRunner
+			if sp.grouped {
+				q = newKeyedQueryRunner(name, sp.spec, sp.agg, 200*stream.Millisecond, cfg.shards, cfg.batch)
+			} else {
+				q = newQueryRunner(name, sp.theta, sp.spec, sp.agg)
+				q.batchSize = cfg.batch
+			}
+			q.setAggCore(cfg.aggCore) // before durable recovery and first feed
+			// Tracing is always on: a per-query flight recorder over a fixed
+			// ring of recent events, served at /debug/aq/trace and dumped on
+			// panics, breaker trips and quality violations.
+			rec := tracez.NewRecorder(cfg.traceBuf)
+			tr := tracez.New(rec, name)
+			var wd *tracez.Watchdog
+			if sp.theta > 0 {
+				wd = tracez.NewWatchdog(sp.theta, nil)
+				tr.SetWatchdog(wd)
+			}
+			q.log = slog.New(tracez.NewLogHandler(cfg.log.Handler(), rec)).With("query", name)
+			if cfg.traceDump != "" {
+				installDumpSink(tr, cfg.traceDump, q.log)
+			}
+			q.setTracer(tr, wd)
+			if a.srv.reg != nil {
+				q.instrument(a.srv.reg)
+			}
+			if cfg.durableDir != "" {
+				switch {
+				case sp.grouped:
+					q.log.Warn("durability is not supported for grouped queries; running without")
+				case replicas > 1:
+					q.log.Warn("durability is not supported for -fanout replicas; running without (journal the producer's stream instead)")
+				default:
+					opts := durable.Options{
+						Dir:           filepath.Join(cfg.durableDir, name),
+						CommitEvery:   cfg.batch,
+						SnapshotEvery: cfg.snapshotEvery,
+					}
+					if a.srv.reg != nil {
+						opts.Metrics = durable.NewMetrics(a.srv.reg, obs.L("query", name))
+					}
+					dlog, err := durable.Open(opts)
+					if err != nil {
+						return nil, fmt.Errorf("open durable dir for %s: %w", name, err)
+					}
+					if err := q.attachDurable(dlog); err != nil {
+						return nil, fmt.Errorf("recover %s: %w", name, err)
+					}
+					a.dlogs = append(a.dlogs, dlog)
+				}
+			}
+			if sp.grouped {
+				q.startGrouped(cfg.ingestCap, cfg.policy)
+			} else {
+				q.start(cfg.ingestCap, cfg.policy)
+			}
+			a.srv.add(q)
+			a.runners = append(a.runners, q)
+			group = append(group, q)
 		}
-		if sp.grouped {
-			q.startGrouped(cfg.ingestCap, cfg.policy)
-		} else {
-			q.start(cfg.ingestCap, cfg.policy)
-		}
-		a.srv.add(q)
-		a.runners = append(a.runners, q)
+		a.groups = append(a.groups, group)
+		a.bases = append(a.bases, sp.name)
 		a.loads = append(a.loads, sp.load)
 	}
 	return a, nil
 }
 
-// startFeeds launches one feed loop per query; the loops stop when ctx is
-// cancelled.
+// startFeeds launches one feed loop per stream; the loops stop when ctx
+// is cancelled. Single-runner groups use the classic per-query feedLoop;
+// fan-out groups share one producer over a broadcast ring.
 func (a *app) startFeeds(ctx context.Context) {
-	for i, q := range a.runners {
+	for i, g := range a.groups {
+		load, seed := a.loads[i], uint64(i+1)
 		a.wg.Add(1)
-		go func(q *queryRunner, load func(uint64) gen.Config, seed uint64) {
+		if len(g) == 1 {
+			go func(q *queryRunner) {
+				defer a.wg.Done()
+				feedLoop(ctx, q, load, seed, a.cfg)
+			}(g[0])
+			continue
+		}
+		go func(g []*queryRunner, base string) {
 			defer a.wg.Done()
-			feedLoop(ctx, q, load, seed, a.cfg)
-		}(q, a.loads[i], uint64(i+1))
+			fanoutFeedLoop(ctx, g, base, load, seed, a.cfg, a.srv.reg)
+		}(g, a.bases[i])
 	}
 }
 
@@ -251,6 +287,7 @@ func main() {
 	ingestCap := flag.Int("ingest", 1024, "bounded ingest queue capacity per query")
 	shards := flag.Int("shards", 4, "window shards for grouped (GROUP BY) queries")
 	batch := flag.Int("batch", 64, "items applied per lock acquisition / pipeline transport batch")
+	fanoutN := flag.Int("fanout", 1, "replica queries per stream sharing one broadcast-ring ingest; 1 = independent ingest per query")
 	aggCore := flag.String("aggcore", "fiba", "window aggregation core: fiba (finger B-tree) or legacy (per-window fold); both emit identical results")
 	obsOn := flag.Bool("obs", false, "serve Prometheus /metrics and /debug/pprof, instrumenting every query")
 	traceBuf := flag.Int("trace-buf", tracez.DefaultRecorderSize, "flight-recorder ring size per query, in events")
@@ -276,7 +313,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *fanoutN < 1 {
+		fatal(fmt.Errorf("-fanout must be >= 1, got %d", *fanoutN))
+	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
+		fanout:  *fanoutN,
 		aggCore: core,
 		policy:  policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
 		traceBuf: *traceBuf, traceDump: *traceDump, log: logger,

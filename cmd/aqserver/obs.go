@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/fanout"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -145,4 +146,37 @@ func mountObs(mux *http.ServeMux, reg *obs.Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// instrumentFanout registers the per-replica shared-source ring gauges
+// (-obs with -fanout > 1): how many published batches the replica has
+// not yet released, and the ring backlog's contribution to the query's
+// queue-depth family — in fan-out mode the ring sits in front of the
+// bounded ingest queue, so both series together account for everything
+// queued upstream of the operator.
+func instrumentFanout(reg *obs.Registry, q *queryRunner, sub *fanout.Sub) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.L("query", q.name)
+	reg.GaugeFunc("aq_fanout_lag_batches",
+		"Published fan-out ring batches the query has not yet released.",
+		func() float64 { return float64(sub.Lag()) }, lbl)
+	reg.GaugeFunc("aq_queue_depth", "Occupancy of a pipeline channel.",
+		func() float64 { return float64(sub.Pending()) }, lbl, obs.L("queue", "fanout"))
+}
+
+// instrumentFanoutProducer registers the per-stream producer counters of
+// a fan-out group's broadcast ring.
+func instrumentFanoutProducer(reg *obs.Registry, stream string, b *fanout.Broadcast) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.L("stream", stream)
+	reg.CounterFunc("aq_fanout_published_total",
+		"Batches published into the shared-source broadcast ring.",
+		func() float64 { return float64(b.Published()) }, lbl)
+	reg.CounterFunc("aq_fanout_dropped_total",
+		"Data tuples shed by lapped ShedOldest ring subscribers.",
+		func() float64 { return float64(b.Dropped()) }, lbl)
 }

@@ -51,16 +51,16 @@ func (b *KSlack) InsertBatch(items []stream.Item, out []stream.Tuple, ends []int
 		if b.k > b.stats.MaxK {
 			b.stats.MaxK = b.k
 		}
-		if t.TS <= b.clock-b.k && (len(b.heap) == 0 || tupleLess(t, b.heap[0])) {
+		if t.TS <= b.clock-b.k && (b.heap.len() == 0 || tupleLess(t, *b.heap.first())) {
 			// Release-through: pushing t would pop it straight back off.
-			if len(b.heap)+1 > b.stats.MaxHeld {
-				b.stats.MaxHeld = len(b.heap) + 1
+			if b.heap.len()+1 > b.stats.MaxHeld {
+				b.stats.MaxHeld = b.heap.len() + 1
 			}
 			out = b.release(out, t)
 		} else {
 			b.heap.push(t)
-			if len(b.heap) > b.stats.MaxHeld {
-				b.stats.MaxHeld = len(b.heap)
+			if n := b.heap.len(); n > b.stats.MaxHeld {
+				b.stats.MaxHeld = n
 			}
 		}
 		out = b.drain(out)

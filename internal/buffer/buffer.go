@@ -1,8 +1,8 @@
 // Package buffer implements disorder handling for out-of-order streams:
 // slack buffers that hold tuples back and release them in event-time order.
 //
-// The common mechanism is a K-slack sort buffer: tuples are kept in a
-// min-heap on event time and a tuple with event timestamp ts is released
+// The common mechanism is a K-slack sort buffer: tuples are kept ordered
+// on event time (tupleRing) and a tuple with event timestamp ts is released
 // once the stream clock (the maximum event timestamp observed so far)
 // reaches ts + K. Larger K tolerates more lateness at the cost of result
 // latency; K = 0 is "no disorder handling"; K tracking the maximum
@@ -17,6 +17,7 @@ package buffer
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -62,9 +63,19 @@ func (s Stats) String() string {
 		s.Inserted, s.Released, s.Stragglers, s.Shed, s.MaxHeld, s.MaxK)
 }
 
-// tupleHeap is a binary min-heap on (TS, Seq). A hand-rolled heap avoids
-// container/heap's interface indirection on the per-tuple hot path.
-type tupleHeap []stream.Tuple
+// tupleRing is an ordered buffer on (TS, Seq): a slice kept sorted
+// ascending with a head index for O(1) pop-front. It replaces the binary
+// min-heap that previously backed the slack buffers: on the near-sorted
+// input a disorder buffer actually sees, a new tuple almost always sorts
+// after everything buffered — one comparison and an append — and every
+// release is a head increment, where the heap paid a full sift of
+// 48-byte tuple swaps per pop. Stragglers fall back to binary search
+// plus a memmove over the (small, ~K/interval sized) live region.
+// Pop order is identical to the heap's: ascending (TS, Seq).
+type tupleRing struct {
+	buf  []stream.Tuple // sorted ascending by tupleLess; live region buf[head:]
+	head int
+}
 
 func tupleLess(a, b stream.Tuple) bool {
 	if a.TS != b.TS {
@@ -73,52 +84,61 @@ func tupleLess(a, b stream.Tuple) bool {
 	return a.Seq < b.Seq
 }
 
-func (h *tupleHeap) push(t stream.Tuple) {
-	*h = append(*h, t)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !tupleLess((*h)[i], (*h)[parent]) {
-			break
-		}
-		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
-		i = parent
+func (h *tupleRing) len() int             { return len(h.buf) - h.head }
+func (h *tupleRing) first() *stream.Tuple { return &h.buf[h.head] }
+
+func (h *tupleRing) push(t stream.Tuple) {
+	if h.head == len(h.buf) || !tupleLess(t, h.buf[len(h.buf)-1]) {
+		h.buf = append(h.buf, t) // fast path: sorts after everything live
+		return
 	}
+	// Straggler: binary-search the upper bound in the live region and
+	// shift the tail right by one.
+	lo, hi := h.head, len(h.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tupleLess(t, h.buf[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buf = append(h.buf, stream.Tuple{})
+	copy(h.buf[lo+1:], h.buf[lo:])
+	h.buf[lo] = t
 }
 
-func (h *tupleHeap) pop() stream.Tuple {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	h.siftDown(0)
-	return top
+func (h *tupleRing) pop() stream.Tuple {
+	t := h.buf[h.head]
+	h.head++
+	if h.head == len(h.buf) {
+		h.buf, h.head = h.buf[:0], 0
+	} else if h.head >= 64 && h.head*2 >= len(h.buf) {
+		// Reclaim the dead prefix once it dominates the backing array.
+		n := copy(h.buf, h.buf[h.head:])
+		h.buf, h.head = h.buf[:n], 0
+	}
+	return t
 }
 
-func (h *tupleHeap) siftDown(i int) {
-	n := len(*h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && tupleLess((*h)[l], (*h)[smallest]) {
-			smallest = l
-		}
-		if r < n && tupleLess((*h)[r], (*h)[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
-		i = smallest
-	}
+// sorted returns a copy of the live region, ascending by (TS, Seq).
+func (h *tupleRing) sorted() []stream.Tuple {
+	out := make([]stream.Tuple, h.len())
+	copy(out, h.buf[h.head:])
+	return out
+}
+
+// restore replaces the contents with ts, which may be in any order.
+func (h *tupleRing) restore(ts []stream.Tuple) {
+	h.buf = append(h.buf[:0], ts...)
+	h.head = 0
+	sort.Slice(h.buf, func(i, j int) bool { return tupleLess(h.buf[i], h.buf[j]) })
 }
 
 // slackBuffer is the shared K-slack mechanism. Policy types embed it and
 // adjust k.
 type slackBuffer struct {
-	heap        tupleHeap
+	heap        tupleRing
 	clock       stream.Time // max event timestamp observed
 	started     bool
 	k           stream.Time
@@ -139,7 +159,7 @@ func (b *slackBuffer) advanceClock(ts stream.Time) bool {
 
 // drain releases all tuples whose release point has passed.
 func (b *slackBuffer) drain(out []stream.Tuple) []stream.Tuple {
-	for len(b.heap) > 0 && b.heap[0].TS <= b.clock-b.k {
+	for b.heap.len() > 0 && b.heap.first().TS <= b.clock-b.k {
 		out = b.release(out, b.heap.pop())
 	}
 	return out
@@ -161,8 +181,8 @@ func (b *slackBuffer) insertTuple(t stream.Tuple, out []stream.Tuple) []stream.T
 	b.stats.Inserted++
 	b.advanceClock(t.TS)
 	b.heap.push(t)
-	if len(b.heap) > b.stats.MaxHeld {
-		b.stats.MaxHeld = len(b.heap)
+	if n := b.heap.len(); n > b.stats.MaxHeld {
+		b.stats.MaxHeld = n
 	}
 	if b.k > b.stats.MaxK {
 		b.stats.MaxK = b.k
@@ -177,7 +197,7 @@ func (b *slackBuffer) insertHeartbeat(w stream.Time, out []stream.Tuple) []strea
 
 // Flush releases everything buffered, in event-time order.
 func (b *slackBuffer) Flush(out []stream.Tuple) []stream.Tuple {
-	for len(b.heap) > 0 {
+	for b.heap.len() > 0 {
 		out = b.release(out, b.heap.pop())
 	}
 	return out
@@ -187,7 +207,7 @@ func (b *slackBuffer) Flush(out []stream.Tuple) []stream.Tuple {
 func (b *slackBuffer) K() stream.Time { return b.k }
 
 // Len returns the number of buffered tuples.
-func (b *slackBuffer) Len() int { return len(b.heap) }
+func (b *slackBuffer) Len() int { return b.heap.len() }
 
 // Stats returns cumulative counters.
 func (b *slackBuffer) Stats() Stats { return b.stats }
@@ -198,10 +218,10 @@ func (b *slackBuffer) Clock() stream.Time { return b.clock }
 // Head returns the buffered tuple that would be released next, if any.
 // Timeout uses it to detect a stuck buffer head.
 func (b *slackBuffer) Head() (stream.Tuple, bool) {
-	if len(b.heap) == 0 {
+	if b.heap.len() == 0 {
 		return stream.Tuple{}, false
 	}
-	return b.heap[0], true
+	return *b.heap.first(), true
 }
 
 // KSlack is the classic fixed-slack buffer: release when the clock has

@@ -297,16 +297,22 @@ func TestHandlerStrings(t *testing.T) {
 }
 
 func TestHeapPropertyRandomized(t *testing.T) {
-	// The internal heap must always pop in (TS, Seq) order.
+	// The internal ordered ring must always pop in (TS, Seq) order, under
+	// interleaved pushes and pops so the head-compaction paths run too.
 	rng := stats.NewRNG(23)
 	f := func(n uint8) bool {
-		var h tupleHeap
+		var h tupleRing
 		count := int(n%100) + 1
 		for i := 0; i < count; i++ {
 			h.push(stream.Tuple{TS: stream.Time(rng.Intn(20)), Seq: uint64(i)})
+			if rng.Intn(3) == 0 && h.len() > 1 {
+				// Interleaved pops may release ahead of later pushes; only
+				// the final drain below must be globally ordered.
+				h.pop()
+			}
 		}
 		prev := stream.Tuple{TS: -1}
-		for len(h) > 0 {
+		for h.len() > 0 {
 			cur := h.pop()
 			if cur.TS < prev.TS || (cur.TS == prev.TS && cur.Seq < prev.Seq) {
 				return false
@@ -317,6 +323,43 @@ func TestHeapPropertyRandomized(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRingCompaction(t *testing.T) {
+	// A long alternating push/pop run must not grow the backing array
+	// without bound: the dead prefix is reclaimed once it dominates.
+	var h tupleRing
+	for i := 0; i < 10_000; i++ {
+		h.push(stream.Tuple{TS: stream.Time(i), Seq: uint64(i)})
+		if i >= 10 {
+			if got := h.pop(); got.TS != stream.Time(i-10) {
+				t.Fatalf("pop %d: got TS %d, want %d", i, got.TS, i-10)
+			}
+		}
+	}
+	if cap(h.buf) > 1024 {
+		t.Fatalf("backing array grew to %d for an 11-tuple working set", cap(h.buf))
+	}
+}
+
+func TestRingRestoreFromHeapOrder(t *testing.T) {
+	// Snapshots written by the old min-heap implementation hold a heap
+	// array, not a sorted one; restore must accept any order.
+	var h tupleRing
+	h.restore([]stream.Tuple{{TS: 5, Seq: 4}, {TS: 9, Seq: 1}, {TS: 7, Seq: 0}, {TS: 5, Seq: 2}})
+	want := []struct {
+		ts  stream.Time
+		seq uint64
+	}{{5, 2}, {5, 4}, {7, 0}, {9, 1}}
+	for _, w := range want {
+		got := h.pop()
+		if got.TS != w.ts || got.Seq != w.seq {
+			t.Fatalf("pop: got (%d,%d), want (%d,%d)", got.TS, got.Seq, w.ts, w.seq)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("ring not empty after restore+drain: %d left", h.len())
 	}
 }
 

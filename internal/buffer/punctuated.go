@@ -52,13 +52,13 @@ func (b *Punctuated) Insert(it stream.Item, out []stream.Tuple) []stream.Tuple {
 		return b.release(out, t)
 	}
 	b.heap.push(t)
-	if len(b.heap) > b.stats.MaxHeld {
-		b.stats.MaxHeld = len(b.heap)
+	if n := b.heap.len(); n > b.stats.MaxHeld {
+		b.stats.MaxHeld = n
 	}
 	return out
 }
 
 // String implements Handler.
 func (b *Punctuated) String() string {
-	return fmt.Sprintf("punctuated(wm=%d held=%d)", b.lastWM, len(b.heap))
+	return fmt.Sprintf("punctuated(wm=%d held=%d)", b.lastWM, b.heap.len())
 }

@@ -10,10 +10,12 @@ import (
 // constructed handler of the same kind and feeding it the same item suffix
 // yields bit-identical releases to the uninterrupted run.
 
-// SlackState is the exported state of the shared K-slack mechanism. Heap is
-// the raw backing array of the tuple min-heap: any valid heap array is
-// restored verbatim, so pop order — and therefore release order — is
-// exactly preserved.
+// SlackState is the exported state of the shared K-slack mechanism. Heap
+// holds the buffered tuples; export writes them ascending by (TS, Seq)
+// and restore accepts any order and re-sorts, so release order is exactly
+// preserved. Both directions are compatible with states written when a
+// binary min-heap backed the buffer: a heap's pop order is the same
+// sorted order, and a sorted array is itself a valid heap array.
 type SlackState struct {
 	Heap        []stream.Tuple `json:"heap,omitempty"`
 	Clock       stream.Time    `json:"clock"`
@@ -25,10 +27,8 @@ type SlackState struct {
 }
 
 func (b *slackBuffer) slackState() SlackState {
-	heap := make([]stream.Tuple, len(b.heap))
-	copy(heap, b.heap)
 	return SlackState{
-		Heap:        heap,
+		Heap:        b.heap.sorted(),
 		Clock:       b.clock,
 		Started:     b.started,
 		K:           b.k,
@@ -39,7 +39,7 @@ func (b *slackBuffer) slackState() SlackState {
 }
 
 func (b *slackBuffer) restoreSlack(st SlackState) {
-	b.heap = append(b.heap[:0], st.Heap...)
+	b.heap.restore(st.Heap)
 	b.clock = st.Clock
 	b.started = st.Started
 	b.k = st.K

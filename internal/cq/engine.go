@@ -164,7 +164,7 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 
 	src := q.source
 	var retrier *resilience.RetryingSource
-	if q.retry != nil {
+	if q.retry != nil && q.shared == nil {
 		retry := *q.retry
 		if retry.Clock == nil {
 			retry.Clock = q.clock // nil stays nil: NewRetryingSource defaults to wall
@@ -243,246 +243,372 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 	// measured inline (same definition as stream.MeasureDisorder, and the
 	// same code path as Run) so an unbounded stream is never retained.
 	var shed int64
-	go func() {
-		defer close(items)
-		defer recoverStage("source")
-		cur := getItemBatch()
-		var pendingSnap *snapCut
-		// perItem selects the paranoid journal cadence: CommitEvery 1 means
-		// every accepted item is journaled and flushed at the accept point,
-		// so the durable prefix equals the crash point exactly (what the DST
-		// crash oracle pins down). Otherwise appends are batched under one
-		// lock per shipped batch — journaled tracks the prefix of cur
-		// already in the journal.
-		perItem := dur != nil && dur.log.PerItemAppend()
-		journaled := 0
-		// journalTail journals the not-yet-journaled suffix of cur. Items in
-		// cur are accepted — journaling them before a send attempt (even one
-		// that fails the overload probe) is always sound; what matters is
-		// journal-before-downstream.
-		journalTail := func() bool {
-			if dur == nil || journaled >= len(cur) {
-				return true
-			}
-			if err := dur.log.AppendItems(cur[journaled:]); err != nil {
-				fail(fmt.Errorf("cq: journal: %w", err))
-				return false
-			}
-			journaled = len(cur)
-			return true
-		}
-		// ship sends the in-progress batch downstream; the non-blocking
-		// form is the overload probe, the blocking form applies
-		// backpressure. False means the pipeline was cancelled.
-		ship := func(block bool) bool {
-			if len(cur) == 0 && pendingSnap == nil {
-				return true
-			}
-			if !journalTail() {
-				return false
-			}
-			n := len(cur)
-			ib := itemBatch{items: cur, snap: pendingSnap}
-			if block {
+	if q.shared != nil {
+		// Shared-source mode: stages 1-3 collapse into one ring receiver.
+		// The fan-out ring already is the ingest queue — batches are
+		// borrowed in place from the producer's publish (no copy, no
+		// per-query channel) and released once the disorder handler has
+		// absorbed them. Per-consumer work (filter/map, disorder
+		// accounting, KeepInput) still happens here, per query, so the
+		// report is field-for-field what a standalone run over the same
+		// stream would produce; only the shared decode/generate/journal
+		// work upstream of the ring is paid once for all subscribers.
+		q.telem.fanoutGauges(q.shared)
+		sub := q.shared
+		go func() {
+			defer close(rels)
+			defer recoverStage("source")
+			// A consumer that stops reading must never wedge the producer
+			// or its Block peers: leaving marks the cursor dead.
+			defer sub.Unsubscribe()
+			now := recNow
+			var rel []stream.Tuple
+			var ends []int
+			var staged []stream.Item // transform staging (filter/map only)
+			transforming := q.filter != nil || q.mapFn != nil
+			cur := getRelBatch()
+			ship := func() bool {
+				if len(cur) == 0 {
+					return true
+				}
+				n := len(cur)
 				select {
-				case items <- ib:
+				case rels <- cur:
 				case <-ctx.Done():
 					return false
 				}
-			} else {
-				select {
-				case items <- ib:
-				default:
-					return false
-				}
-			}
-			pendingSnap = nil
-			// No explicit commit here: the journal is a single ordered
-			// append stream, so every flush persists a prefix — an
-			// emit-progress record can never become durable ahead of the
-			// item records that caused it. Group commit therefore rides
-			// the appenders' CommitEvery cadence alone; committing per
-			// shipped batch would degenerate to a flush syscall per item
-			// whenever the downstream queue runs idle.
-			q.telem.noteIngestBatch(n)
-			q.tracer.SourceBatch(int64(dis.clock), n)
-			cur = getItemBatch()
-			journaled = 0
-			return true
-		}
-		for {
-			it, ok, err := src.NextErr()
-			if err != nil {
-				fail(fmt.Errorf("cq: source: %w", err))
-				return
-			}
-			if !ok {
-				ship(true)
-				return
-			}
-			late := false
-			if !it.Heartbeat {
-				t, keep := q.transform(it.Tuple)
-				if !keep {
-					continue
-				}
-				it = stream.DataItem(t)
-				if q.keepInput {
-					inputTuples = append(inputTuples, t)
-				}
-				late = dis.observe(t)
-			}
-			if len(cur) >= srcBatch && !ship(false) {
-				// Batch full and the queue refused it: overload. Heartbeats
-				// are progress signals and are never shed; a full queue
-				// applies backpressure to them (and to everything else
-				// under the blocking policy).
-				canShed := !it.Heartbeat &&
-					(q.overload == resilience.ShedNewest || (q.overload == resilience.ShedLate && late))
-				if canShed {
-					shed++
-					q.telem.noteShed()
-					q.tracer.Shed(int64(it.Tuple.TS), 1)
-					continue
-				}
-				if !ship(true) {
-					return
-				}
-			}
-			// Journal the accepted item (post-shedding, post-transform)
-			// before it enters the pipeline: a crash after this point
-			// replays it, a crash before loses an item no stage acted on.
-			// The batched cadence defers the suffix of cur to ship time
-			// (journalTail) — still before anything downstream sees it.
-			if perItem {
-				if err := dur.log.AppendItem(it); err != nil {
-					fail(fmt.Errorf("cq: journal: %w", err))
-					return
-				}
-				journaled = len(cur) + 1
-			}
-			cur = append(cur, it)
-			q.telem.noteSource(it.Heartbeat, len(items)*srcBatch+len(cur))
-			if dur != nil && dur.log.ShouldSnapshot() {
-				// Fix the cut here — after journalTail the journal exactly
-				// covers the items shipped so far plus cur — and let the
-				// marker ride behind the current batch to collect handler
-				// and operator state.
-				if !journalTail() {
-					return
-				}
-				records, count, err := dur.log.CutForSnapshot()
-				if err != nil {
-					fail(fmt.Errorf("cq: snapshot cut: %w", err))
-					return
-				}
-				pendingSnap = &snapCut{records: records, items: count, disorder: dis.cut()}
-				if !ship(true) {
-					return
-				}
-			}
-			// Heartbeats force the batch out so the disorder stage's clock
-			// keeps moving; an idle downstream queue means the consumer is
-			// starved, so holding a partial batch would only add latency.
-			// The idleShipMin floor keeps a starved consumer from
-			// degenerating the transport into per-item handoffs — each
-			// tiny ship costs two scheduler switches (ruinous on few
-			// cores), and a sub-minimum batch is at most one heartbeat
-			// away from being forced out anyway.
-			if it.Heartbeat || (len(items) == 0 && len(cur) >= idleShipMin) {
-				if !ship(true) {
-					return
-				}
-			}
-		}
-	}()
-
-	// Stage 3: disorder handler. Owns handler state. One scratch slice and
-	// one offsets slice are reused across every batch; InsertBatch lets
-	// batch-aware handlers (the K-slack heap) amortize per-call work while
-	// ends[i] preserves the per-item release attribution the arrival
-	// clock needs.
-	go func() {
-		defer close(rels)
-		defer recoverStage("disorder")
-		now := recNow // resume the arrival clock where recovery left it
-		var rel []stream.Tuple
-		var ends []int
-		cur := getRelBatch()
-		ship := func() bool {
-			if len(cur) == 0 {
+				q.telem.noteReleaseBatch(n)
+				cur = getRelBatch()
 				return true
 			}
-			n := len(cur)
-			select {
-			case rels <- cur:
-			case <-ctx.Done():
-				return false
-			}
-			q.telem.noteReleaseBatch(n)
-			cur = getRelBatch()
-			return true
-		}
-		push := func(r released) bool {
-			cur = append(cur, r)
-			if !r.mark && !r.flush && r.snap == nil {
-				q.telem.noteRelease(len(rels)*relBatch + len(cur))
-			}
-			// Marks, flushes and snapshot cuts must reach the window stage
-			// immediately; otherwise ship on a full batch or an idle
-			// downstream queue.
-			if r.mark || r.flush || r.snap != nil || len(cur) >= relBatch || len(rels) == 0 {
-				return ship()
-			}
-			return true
-		}
-		for ib := range items {
-			rel, ends = buffer.InsertBatch(handler, ib.items, rel[:0], ends[:0])
-			start := 0
-			for i, it := range ib.items {
-				if it.Heartbeat {
-					if it.Watermark > now {
-						now = it.Watermark
-					}
-				} else if it.Tuple.Arrival > now {
-					now = it.Tuple.Arrival
+			push := func(r released) bool {
+				cur = append(cur, r)
+				if !r.mark && !r.flush && r.snap == nil {
+					q.telem.noteRelease(len(rels)*relBatch + len(cur))
 				}
-				for _, t := range rel[start:ends[i]] {
-					if !push(released{tuple: t, now: now}) {
+				if r.mark || r.flush || r.snap != nil || len(cur) >= relBatch || len(rels) == 0 {
+					return ship()
+				}
+				return true
+			}
+			for {
+				items, seq, ok, err := sub.NextBatch(ctx)
+				if err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("cq: source: %w", err))
+					}
+					return
+				}
+				if !ok {
+					break
+				}
+				// The published batch is immutable and borrowed: filter/map
+				// must stage into a private slice, everything else only
+				// reads. Tuples entering the handler are value copies, so
+				// the batch can be released as soon as it is absorbed.
+				eff := items
+				if transforming {
+					staged = staged[:0]
+					for _, it := range items {
+						if it.Heartbeat {
+							staged = append(staged, it)
+							continue
+						}
+						t, keep := q.transform(it.Tuple)
+						if !keep {
+							continue
+						}
+						staged = append(staged, stream.DataItem(t))
+					}
+					eff = staged
+				}
+				depth := int(sub.Pending())
+				for _, it := range eff {
+					if !it.Heartbeat {
+						if q.keepInput {
+							inputTuples = append(inputTuples, it.Tuple)
+						}
+						dis.observe(it.Tuple)
+					}
+					q.telem.noteSource(it.Heartbeat, depth)
+				}
+				q.telem.noteIngestBatch(len(eff))
+				q.tracer.SourceBatch(int64(dis.clock), len(eff))
+				rel, ends = buffer.InsertBatch(handler, eff, rel[:0], ends[:0])
+				start := 0
+				for i, it := range eff {
+					if it.Heartbeat {
+						if it.Watermark > now {
+							now = it.Watermark
+						}
+					} else if it.Tuple.Arrival > now {
+						now = it.Tuple.Arrival
+					}
+					for _, t := range rel[start:ends[i]] {
+						if !push(released{tuple: t, now: now}) {
+							return
+						}
+					}
+					start = ends[i]
+				}
+				sub.Release(seq)
+			}
+			if failure() != nil {
+				return
+			}
+			if !push(released{now: now, mark: true}) {
+				return
+			}
+			rel = handler.Flush(rel[:0])
+			for _, t := range rel {
+				if !push(released{tuple: t, now: now}) {
+					return
+				}
+			}
+			push(released{now: now, flush: true})
+		}()
+	} else {
+		go func() {
+			defer close(items)
+			defer recoverStage("source")
+			cur := getItemBatch()
+			var pendingSnap *snapCut
+			// perItem selects the paranoid journal cadence: CommitEvery 1 means
+			// every accepted item is journaled and flushed at the accept point,
+			// so the durable prefix equals the crash point exactly (what the DST
+			// crash oracle pins down). Otherwise appends are batched under one
+			// lock per shipped batch — journaled tracks the prefix of cur
+			// already in the journal.
+			perItem := dur != nil && dur.log.PerItemAppend()
+			journaled := 0
+			// journalTail journals the not-yet-journaled suffix of cur. Items in
+			// cur are accepted — journaling them before a send attempt (even one
+			// that fails the overload probe) is always sound; what matters is
+			// journal-before-downstream.
+			journalTail := func() bool {
+				if dur == nil || journaled >= len(cur) {
+					return true
+				}
+				if err := dur.log.AppendItems(cur[journaled:]); err != nil {
+					fail(fmt.Errorf("cq: journal: %w", err))
+					return false
+				}
+				journaled = len(cur)
+				return true
+			}
+			// ship sends the in-progress batch downstream; the non-blocking
+			// form is the overload probe, the blocking form applies
+			// backpressure. False means the pipeline was cancelled.
+			ship := func(block bool) bool {
+				if len(cur) == 0 && pendingSnap == nil {
+					return true
+				}
+				if !journalTail() {
+					return false
+				}
+				n := len(cur)
+				ib := itemBatch{items: cur, snap: pendingSnap}
+				if block {
+					select {
+					case items <- ib:
+					case <-ctx.Done():
+						return false
+					}
+				} else {
+					select {
+					case items <- ib:
+					default:
+						return false
+					}
+				}
+				pendingSnap = nil
+				// No explicit commit here: the journal is a single ordered
+				// append stream, so every flush persists a prefix — an
+				// emit-progress record can never become durable ahead of the
+				// item records that caused it. Group commit therefore rides
+				// the appenders' CommitEvery cadence alone; committing per
+				// shipped batch would degenerate to a flush syscall per item
+				// whenever the downstream queue runs idle.
+				q.telem.noteIngestBatch(n)
+				q.tracer.SourceBatch(int64(dis.clock), n)
+				cur = getItemBatch()
+				journaled = 0
+				return true
+			}
+			for {
+				it, ok, err := src.NextErr()
+				if err != nil {
+					fail(fmt.Errorf("cq: source: %w", err))
+					return
+				}
+				if !ok {
+					ship(true)
+					return
+				}
+				late := false
+				if !it.Heartbeat {
+					t, keep := q.transform(it.Tuple)
+					if !keep {
+						continue
+					}
+					it = stream.DataItem(t)
+					if q.keepInput {
+						inputTuples = append(inputTuples, t)
+					}
+					late = dis.observe(t)
+				}
+				if len(cur) >= srcBatch && !ship(false) {
+					// Batch full and the queue refused it: overload. Heartbeats
+					// are progress signals and are never shed; a full queue
+					// applies backpressure to them (and to everything else
+					// under the blocking policy).
+					canShed := !it.Heartbeat &&
+						(q.overload == resilience.ShedNewest || (q.overload == resilience.ShedLate && late))
+					if canShed {
+						shed++
+						q.telem.noteShed()
+						q.tracer.Shed(int64(it.Tuple.TS), 1)
+						continue
+					}
+					if !ship(true) {
 						return
 					}
 				}
-				start = ends[i]
-			}
-			if ib.snap != nil {
-				// Every pre-cut item is now inserted: the handler state is
-				// exactly the cut's. Capture it and pass the marker on.
-				hs, err := durable.SaveHandler(handler)
-				if err != nil {
-					fail(fmt.Errorf("cq: snapshot: %w", err))
-					return
+				// Journal the accepted item (post-shedding, post-transform)
+				// before it enters the pipeline: a crash after this point
+				// replays it, a crash before loses an item no stage acted on.
+				// The batched cadence defers the suffix of cur to ship time
+				// (journalTail) — still before anything downstream sees it.
+				if perItem {
+					if err := dur.log.AppendItem(it); err != nil {
+						fail(fmt.Errorf("cq: journal: %w", err))
+						return
+					}
+					journaled = len(cur) + 1
 				}
-				ib.snap.handler, ib.snap.now = hs, now
-				if !push(released{now: now, snap: ib.snap}) {
-					return
+				cur = append(cur, it)
+				q.telem.noteSource(it.Heartbeat, len(items)*srcBatch+len(cur))
+				if dur != nil && dur.log.ShouldSnapshot() {
+					// Fix the cut here — after journalTail the journal exactly
+					// covers the items shipped so far plus cur — and let the
+					// marker ride behind the current batch to collect handler
+					// and operator state.
+					if !journalTail() {
+						return
+					}
+					records, count, err := dur.log.CutForSnapshot()
+					if err != nil {
+						fail(fmt.Errorf("cq: snapshot cut: %w", err))
+						return
+					}
+					pendingSnap = &snapCut{records: records, items: count, disorder: dis.cut()}
+					if !ship(true) {
+						return
+					}
+				}
+				// Heartbeats force the batch out so the disorder stage's clock
+				// keeps moving; an idle downstream queue means the consumer is
+				// starved, so holding a partial batch would only add latency.
+				// The idleShipMin floor keeps a starved consumer from
+				// degenerating the transport into per-item handoffs — each
+				// tiny ship costs two scheduler switches (ruinous on few
+				// cores), and a sub-minimum batch is at most one heartbeat
+				// away from being forced out anyway.
+				if it.Heartbeat || (len(items) == 0 && len(cur) >= idleShipMin) {
+					if !ship(true) {
+						return
+					}
 				}
 			}
-			itemPool.Put(ib.items[:0])
-		}
-		if failure() != nil {
-			return // upstream failed: don't emit a bogus final flush
-		}
-		if !push(released{now: now, mark: true}) {
-			return
-		}
-		rel = handler.Flush(rel[:0])
-		for _, t := range rel {
-			if !push(released{tuple: t, now: now}) {
+		}()
+
+		// Stage 3: disorder handler. Owns handler state. One scratch slice and
+		// one offsets slice are reused across every batch; InsertBatch lets
+		// batch-aware handlers (the K-slack heap) amortize per-call work while
+		// ends[i] preserves the per-item release attribution the arrival
+		// clock needs.
+		go func() {
+			defer close(rels)
+			defer recoverStage("disorder")
+			now := recNow // resume the arrival clock where recovery left it
+			var rel []stream.Tuple
+			var ends []int
+			cur := getRelBatch()
+			ship := func() bool {
+				if len(cur) == 0 {
+					return true
+				}
+				n := len(cur)
+				select {
+				case rels <- cur:
+				case <-ctx.Done():
+					return false
+				}
+				q.telem.noteReleaseBatch(n)
+				cur = getRelBatch()
+				return true
+			}
+			push := func(r released) bool {
+				cur = append(cur, r)
+				if !r.mark && !r.flush && r.snap == nil {
+					q.telem.noteRelease(len(rels)*relBatch + len(cur))
+				}
+				// Marks, flushes and snapshot cuts must reach the window stage
+				// immediately; otherwise ship on a full batch or an idle
+				// downstream queue.
+				if r.mark || r.flush || r.snap != nil || len(cur) >= relBatch || len(rels) == 0 {
+					return ship()
+				}
+				return true
+			}
+			for ib := range items {
+				rel, ends = buffer.InsertBatch(handler, ib.items, rel[:0], ends[:0])
+				start := 0
+				for i, it := range ib.items {
+					if it.Heartbeat {
+						if it.Watermark > now {
+							now = it.Watermark
+						}
+					} else if it.Tuple.Arrival > now {
+						now = it.Tuple.Arrival
+					}
+					for _, t := range rel[start:ends[i]] {
+						if !push(released{tuple: t, now: now}) {
+							return
+						}
+					}
+					start = ends[i]
+				}
+				if ib.snap != nil {
+					// Every pre-cut item is now inserted: the handler state is
+					// exactly the cut's. Capture it and pass the marker on.
+					hs, err := durable.SaveHandler(handler)
+					if err != nil {
+						fail(fmt.Errorf("cq: snapshot: %w", err))
+						return
+					}
+					ib.snap.handler, ib.snap.now = hs, now
+					if !push(released{now: now, snap: ib.snap}) {
+						return
+					}
+				}
+				itemPool.Put(ib.items[:0])
+			}
+			if failure() != nil {
+				return // upstream failed: don't emit a bogus final flush
+			}
+			if !push(released{now: now, mark: true}) {
 				return
 			}
-		}
-		push(released{now: now, flush: true})
-	}()
+			rel = handler.Flush(rel[:0])
+			for _, t := range rel {
+				if !push(released{tuple: t, now: now}) {
+					return
+				}
+			}
+			push(released{now: now, flush: true})
+		}()
+	}
 
 	// Stage 4: window operator(s) + sink. Owns operator state and the
 	// report's results.
@@ -655,6 +781,14 @@ func (q *AggQuery) RunConcurrent(ctx context.Context, sink func(window.Result)) 
 		if err := dur.log.Commit(); err != nil {
 			return nil, fmt.Errorf("cq: journal: %w", err)
 		}
+	}
+	if q.shared != nil {
+		// Ring-level losses (ShedOldest laps) are this query's sheds:
+		// fold them into the same accounting the overload policies use.
+		// Unlike engine-side sheds the lapped tuples never reached the
+		// per-query transform, so they are absent from Input/Disorder —
+		// quality must be read through the shed-adjusted metrics.
+		shed = q.shared.Shed()
 	}
 	st := handler.Stats()
 	st.Shed = shed

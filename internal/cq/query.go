@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/fanout"
 	"repro/internal/metrics"
 	"repro/internal/obs/tracez"
 	"repro/internal/resilience"
@@ -51,6 +52,7 @@ type AggQuery struct {
 	telem      *Telemetry
 	tracer     *tracez.Tracer
 	durable    *Durable
+	shared     *fanout.Sub
 
 	hasWindow bool
 }
@@ -68,6 +70,22 @@ func New(source stream.Source) *AggQuery {
 // through transient failures instead of aborting on the first one.
 func NewFallible(source stream.ErrSource) *AggQuery {
 	return &AggQuery{source: source}
+}
+
+// NewShared starts building a query over a shared-source fan-out
+// subscription (see internal/fanout): RunConcurrent consumes published
+// batches through the subscription's cursor instead of pulling a private
+// source, so M queries on one stream pay one ingest path. The Sub must
+// be freshly subscribed and is owned by this query for one run.
+//
+// Shared queries reject Retry and Durable — resilience wrappers and the
+// journal belong on the producer side of the ring, where the stream
+// exists exactly once. A Block subscription makes the query's output
+// byte-identical to the same query run standalone over the same stream
+// (the DST fan-out oracle enforces it); a ShedOldest subscription trades
+// completeness for isolation, with losses counted in AggReport.Shed.
+func NewShared(sub *fanout.Sub) *AggQuery {
+	return &AggQuery{shared: sub}
 }
 
 // Filter keeps only tuples for which f returns true.
@@ -243,8 +261,22 @@ func (q *AggQuery) GroupBy() *AggQuery {
 }
 
 func (q *AggQuery) validate() error {
-	if q.source == nil {
+	if q.source == nil && q.shared == nil {
 		return errors.New("cq: query needs a source")
+	}
+	if q.shared != nil {
+		if q.source != nil {
+			return errors.New("cq: shared-source query cannot also have its own source")
+		}
+		if q.retry != nil {
+			return errors.New("cq: Retry on a shared-source query belongs on the ring's producer")
+		}
+		if q.durable != nil {
+			return errors.New("cq: Durable does not support shared-source queries (journal the producer)")
+		}
+		if q.overload != resilience.Block {
+			return errors.New("cq: Overload shedding on a shared-source query belongs to the fanout subscription policy")
+		}
 	}
 	if !q.hasWindow {
 		return errors.New("cq: query needs a Window stage")
@@ -331,6 +363,9 @@ func (r *AggReport) Latency(skipWarmup int) metrics.LatencyReport {
 func (q *AggQuery) Run() (*AggReport, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
+	}
+	if q.shared != nil {
+		return nil, errors.New("cq: shared-source queries run through RunConcurrent (the ring is a concurrent transport)")
 	}
 	handler := q.handler
 	if handler == nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strconv"
 
+	"repro/internal/fanout"
 	"repro/internal/obs"
 	"repro/internal/window"
 )
@@ -119,6 +120,25 @@ func (t *Telemetry) shardCounters(n int) []*obs.Counter {
 			t.query, obs.L("shard", strconv.Itoa(i)))
 	}
 	return out
+}
+
+// fanoutGauges registers the shared-source ring gauges for this query:
+// per-consumer lag in published batches (aq_fanout_lag_batches) and the
+// ring backlog's contribution to aq_queue_depth (queue="fanout") — in
+// shared mode the ring is the ingest queue, so queue-depth dashboards
+// (the OBSERVABILITY.md delay-spike walkthrough) stay accurate with
+// -fanout on. Re-registration replaces the callbacks, so a restarted
+// query re-claims its series.
+func (t *Telemetry) fanoutGauges(sub *fanout.Sub) {
+	if t == nil || t.reg == nil {
+		return
+	}
+	t.reg.GaugeFunc("aq_fanout_lag_batches",
+		"Published fan-out ring batches the query has not yet released.",
+		func() float64 { return float64(sub.Lag()) }, t.query)
+	t.reg.GaugeFunc("aq_queue_depth",
+		"Occupancy of a pipeline channel.",
+		func() float64 { return float64(sub.Pending()) }, t.query, obs.L("queue", "fanout"))
 }
 
 // noteIngestBatch records the size of one batch shipped by the source

@@ -59,6 +59,13 @@ type Plan struct {
 	// the one schedule-dependent behaviour in the engine, and would break
 	// seed-reproducibility.
 	Chaos ChaosPlan `json:"chaos"`
+
+	// Fanout, when >1, adds the shared-source contract: the transcript is
+	// pumped once through a fanout.Broadcast and Fanout replica queries of
+	// the plan's shape must each reproduce the synchronous run byte for
+	// byte. Subscriptions are Block — the lossless policy — because DST
+	// plans never shed (see Chaos above).
+	Fanout int `json:"fanout,omitempty"`
 }
 
 // DelayPlan selects a delay model by name so plans stay serializable.
@@ -240,9 +247,9 @@ func (p Plan) String() string {
 	} else if h == "kslack" {
 		h = fmt.Sprintf("kslack(%d)", p.Handler.K)
 	}
-	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d core=%s h=%s batch=%d shards=%d chaos=%+v}",
+	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d core=%s h=%s batch=%d shards=%d fanout=%d chaos=%+v}",
 		p.Seed, p.N, p.NumKeys, p.Delay.Kind, p.Delay.Mean, p.Heartbeat,
-		p.Window, p.Slide, p.Agg, p.Refine, p.core(), h, p.Batch, p.Shards, p.Chaos)
+		p.Window, p.Slide, p.Agg, p.Refine, p.core(), h, p.Batch, p.Shards, p.Fanout, p.Chaos)
 }
 
 // PlanForSeed derives one point of the sweep matrix from a seed. Every
@@ -325,6 +332,16 @@ func PlanForSeed(seed uint64) Plan {
 	// committed transcripts) earlier seeds already pinned.
 	if rng.Float64() < 0.5 {
 		p.Core = "fiba"
+	}
+
+	// Fanout is drawn after Core for the same reason: appending a draw
+	// leaves every earlier dimension — and the transcripts they pin —
+	// untouched. Half the seeds exercise the shared-source ring.
+	switch rng.Intn(4) {
+	case 2:
+		p.Fanout = 2
+	case 3:
+		p.Fanout = 8
 	}
 	return p
 }

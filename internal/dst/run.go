@@ -133,6 +133,27 @@ func (p Plan) runConcurrent() (*cq.AggReport, error) {
 	return q.RunConcurrent(context.Background(), nil)
 }
 
+// runShared executes Fanout replica queries of the plan's shape over one
+// shared broadcast ring (see internal/fanout), fed by a fresh chaos chain
+// under virtual time. The producer side carries the resilience stack —
+// pacing, then retry on injected errors — so every subscriber sees the
+// identical delivered sequence the standalone runs consumed.
+func (p Plan) runShared() ([]*cq.AggReport, error) {
+	sched := NewScheduler()
+	var src stream.ErrSource = &pacedSource{src: p.faultChain(sched), sched: sched}
+	if p.Chaos.ErrRate > 0 {
+		// Same attempt budget and jitter seed as runConcurrent's per-query
+		// retrier, hoisted to the ring's single producer.
+		src = resilience.NewRetryingSource(context.Background(), src,
+			resilience.Retry{MaxAttempts: 1000, Seed: p.Seed ^ 0x5bf03635, Clock: sched})
+	}
+	queries := make([]*cq.AggQuery, p.Fanout)
+	for i := range queries {
+		queries[i] = p.build(nil, p.handler()).Clock(sched)
+	}
+	return cq.RunShared(context.Background(), src, cq.SharedOpts{Batch: p.Batch}, queries...)
+}
+
 // Execute runs one plan through every execution path and the differential
 // oracle. The returned error reports harness failures (a query that fails
 // validation); contract violations land in Outcome.Failures.
@@ -177,6 +198,22 @@ func Execute(p Plan) (*Outcome, error) {
 	}
 	if err := oracle.SameOutput(sync, altSync); err != nil {
 		o.fail("core-equivalence (%s vs %s): %v", p.core(), flip.core(), err)
+	}
+
+	// Contract 1c: every replica of the query, subscribed to one shared
+	// broadcast ring draining the same chaos chain, reproduces the
+	// synchronous run byte for byte — fan-out adds transport, never
+	// semantics. Block subscriptions make this exact (no sheds).
+	if p.Fanout > 1 {
+		reps, err := p.runShared()
+		if err != nil {
+			return nil, fmt.Errorf("dst: shared fan-out run: %w", err)
+		}
+		for i, rep := range reps {
+			if err := oracle.Equivalence(sync, rep); err != nil {
+				o.fail("fanout[%d of %d]: %v", i, p.Fanout, err)
+			}
+		}
 	}
 
 	// Contract 2: realized quality within θ (adaptive ungrouped plans; the

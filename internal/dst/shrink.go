@@ -72,6 +72,12 @@ func candidates(p Plan) []Plan {
 	if p.Poisson {
 		try(func(c *Plan) { c.Poisson = false })
 	}
+	if p.Fanout > 1 {
+		try(func(c *Plan) { c.Fanout = 0 })
+		if p.Fanout > 2 {
+			try(func(c *Plan) { c.Fanout = 2 })
+		}
+	}
 	if p.Shards > 1 {
 		try(func(c *Plan) { c.Shards = 1 })
 	}

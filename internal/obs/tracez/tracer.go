@@ -317,6 +317,16 @@ func (t *Tracer) Snapshot(at int64, records uint64) {
 	t.rec.Record(Event{At: at, Kind: KindSnapshot, Stage: StageDurable, N: int64(records)})
 }
 
+// FanoutPublish records one batch published into a shared-source
+// broadcast ring: seq is the ring sequence, n the batch's data tuples.
+// At is the batch's last stream-time position.
+func (t *Tracer) FanoutPublish(at int64, seq int64, n int) {
+	if t == nil {
+		return
+	}
+	t.rec.Record(Event{At: at, Kind: KindFanoutPublish, Stage: StageSource, Win: seq, N: int64(n)})
+}
+
 // Log mirrors one structured-log record into the recorder. At is wall
 // milliseconds (log records happen outside stream time).
 func (t *Tracer) Log(at int64, msg string) {

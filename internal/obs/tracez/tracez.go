@@ -59,6 +59,7 @@ const (
 	KindLog               // structured log record mirrored into the recorder
 	KindRecovery          // crash recovery completed; N = replayed items, Win = emit floor, V = truncated bytes
 	KindSnapshot          // durable snapshot written; N = journal records covered
+	KindFanoutPublish     // shared-source ring published a batch; Win = ring seq, N = data tuples
 )
 
 // String names the kind (stable — the Chrome exporter and dumps use it).
@@ -102,6 +103,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case KindSnapshot:
 		return "snapshot"
+	case KindFanoutPublish:
+		return "fanout-publish"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,82 @@
+package stream
+
+import "sync"
+
+// Tee splits one source into n branches that each see the complete item
+// sequence. The upstream is pulled lazily — an item is read once, when
+// the first branch needs it — and retained only until every branch has
+// consumed it, so branches advancing in lockstep buffer O(1) items.
+//
+// Tee is the synchronous, in-process fan-out primitive: branches may be
+// driven from different goroutines (the shared pull is locked), but a
+// branch that stops reading makes its peers' backlog grow without bound
+// — there is no ring bound and no shed policy. Concurrent pipelines
+// with backpressure or shedding semantics should use internal/fanout,
+// which exists precisely because Tee's unbounded buffering is wrong for
+// long-running queries; Tee is for tests, oracles and short replays
+// where "every branch sees everything" is the whole requirement.
+func Tee(src Source, n int) []Source {
+	if n <= 0 {
+		return nil
+	}
+	sh := &teeShared{src: src, heads: make([]uint64, n)}
+	out := make([]Source, n)
+	for i := range out {
+		out[i] = &teeBranch{sh: sh, id: i}
+	}
+	return out
+}
+
+// teeShared is the state the branches pull through: a sliding buffer of
+// items between the slowest and fastest branch head.
+type teeShared struct {
+	mu    sync.Mutex
+	src   Source
+	buf   []Item   // items [base, base+len(buf)) of the upstream sequence
+	base  uint64   // absolute index of buf[0]
+	heads []uint64 // per-branch absolute next-read index
+	done  bool     // upstream exhausted
+}
+
+// next returns the item at absolute index head, pulling the upstream
+// forward when needed and discarding the prefix every branch has passed.
+func (s *teeShared) next(branch int) (Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	head := s.heads[branch]
+	for head >= s.base+uint64(len(s.buf)) {
+		if s.done {
+			return Item{}, false
+		}
+		it, ok := s.src.Next()
+		if !ok {
+			s.done = true
+			return Item{}, false
+		}
+		s.buf = append(s.buf, it)
+	}
+	it := s.buf[head-s.base]
+	s.heads[branch] = head + 1
+
+	// Drop the prefix no branch will read again.
+	min := s.heads[0]
+	for _, h := range s.heads[1:] {
+		if h < min {
+			min = h
+		}
+	}
+	if drop := min - s.base; drop > 0 {
+		s.buf = s.buf[:copy(s.buf, s.buf[drop:])]
+		s.base = min
+	}
+	return it, true
+}
+
+// teeBranch is one branch's Source view.
+type teeBranch struct {
+	sh *teeShared
+	id int
+}
+
+// Next implements Source.
+func (b *teeBranch) Next() (Item, bool) { return b.sh.next(b.id) }

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+func teeInput(n int) []Item {
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, DataItem(Tuple{TS: Time(i), Arrival: Time(i), Seq: uint64(i), Value: float64(i)}))
+	}
+	return items
+}
+
+func TestTeeBranchesSeeEverything(t *testing.T) {
+	const n = 500
+	branches := Tee(NewSliceSource(teeInput(n)), 3)
+	if len(branches) != 3 {
+		t.Fatalf("got %d branches", len(branches))
+	}
+	// Drive the branches unevenly: round-robin with different strides so
+	// the shared buffer grows and shrinks.
+	counts := make([]int, 3)
+	vals := make([][]float64, 3)
+	for done := 0; done < 3; {
+		done = 0
+		for i, br := range branches {
+			steps := i + 1
+			for s := 0; s < steps; s++ {
+				it, ok := br.Next()
+				if !ok {
+					break
+				}
+				vals[i] = append(vals[i], it.Tuple.Value)
+				counts[i]++
+			}
+			if counts[i] == n {
+				done++
+			}
+		}
+	}
+	for i := range vals {
+		if len(vals[i]) != n {
+			t.Fatalf("branch %d got %d of %d", i, len(vals[i]), n)
+		}
+		for j, v := range vals[i] {
+			if v != float64(j) {
+				t.Fatalf("branch %d item %d = %g", i, j, v)
+			}
+		}
+		// Exhausted branches stay exhausted.
+		if _, ok := branches[i].Next(); ok {
+			t.Fatalf("branch %d yielded past end of stream", i)
+		}
+	}
+}
+
+func TestTeeConcurrentBranches(t *testing.T) {
+	const n = 2000
+	branches := Tee(NewSliceSource(teeInput(n)), 4)
+	var wg sync.WaitGroup
+	got := make([]int, len(branches))
+	for i, br := range branches {
+		wg.Add(1)
+		go func(i int, br Source) {
+			defer wg.Done()
+			prev := -1.0
+			for {
+				it, ok := br.Next()
+				if !ok {
+					return
+				}
+				if it.Tuple.Value <= prev {
+					t.Errorf("branch %d: out of order", i)
+					return
+				}
+				prev = it.Tuple.Value
+				got[i]++
+			}
+		}(i, br)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != n {
+			t.Fatalf("branch %d got %d of %d", i, g, n)
+		}
+	}
+}
+
+func TestTeeZeroBranches(t *testing.T) {
+	if Tee(NewSliceSource(nil), 0) != nil {
+		t.Fatal("Tee(_, 0) should be nil")
+	}
+}

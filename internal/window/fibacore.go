@@ -114,6 +114,12 @@ func (m treeMonoid) Combine(x, y treePart) treePart {
 type fibaState struct {
 	mode fibaMode
 	tree *fiba.Tree[treePart]
+	// scratch stages the window's values during fibaScan materialization
+	// (aggFor) so every emission reuses one buffer instead of append-growing
+	// a fresh aggregate. Only borrowed within a single aggFor call — the
+	// constructed aggregate gets its own exact-size storage, because
+	// RefineLate retains aggregates across emissions.
+	scratch []float64
 }
 
 // newFibaState builds the tree core for a factory, or returns nil when the
@@ -145,8 +151,27 @@ func (s *fibaState) aggFor(f Factory, start, end stream.Time) Aggregate {
 	case fibaMax:
 		return &maxAgg{n: part.n, v: part.a}
 	default: // fibaScan: replay the window's values in key order
+		s.scratch = s.scratch[:0]
+		s.tree.RangeEach(start, end, func(v float64) {
+			s.scratch = append(s.scratch, v)
+		})
 		a := f.New()
-		s.tree.RangeEach(start, end, a.Add)
+		switch t := a.(type) {
+		case *quantileAgg:
+			// Bulk copy is state-identical to sequential Adds on a fresh
+			// aggregate (unsorted appends), minus the append-doubling.
+			t.vals = append(make([]float64, 0, len(s.scratch)), s.scratch...)
+		case *distinctAgg:
+			t.seen = make(map[float64]struct{}, len(s.scratch))
+			for _, v := range s.scratch {
+				t.seen[v] = struct{}{}
+			}
+			t.n = int64(len(s.scratch))
+		default:
+			for _, v := range s.scratch {
+				a.Add(v)
+			}
+		}
 		return a
 	}
 }
