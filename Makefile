@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck bench bench-transport bench-trace bench-journal bench-aggcore bench-fanout dst crash cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck api-test bench bench-transport bench-trace bench-journal bench-aggcore bench-fanout dst crash cover
 
-check: vet build race fuzz-short dst crash doccheck
+check: vet build race fuzz-short api-test dst crash doccheck
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,16 @@ fuzz-short:
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzGKQuantile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz '^FuzzP2Bounds$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netstream -run '^$$' -fuzz '^FuzzLineProtocol$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./cmd/aqserver -run '^$$' -fuzz '^FuzzQueryAPI$$' -fuzztime $(FUZZTIME)
+
+# Socket-level integration suite for the network control plane: a real
+# aqserver on ephemeral ports, queries registered over HTTP, tuples
+# streamed over TCP, output compared byte-for-byte against the in-process
+# cq engine (see docs/API.md "Testing"). Always under the race detector.
+api-test:
+	$(GO) test ./cmd/aqserver -race -count=1 \
+		-run 'TestAPI|TestRuntimeQueryMetricLabelParity'
 
 # Deterministic simulation sweep under the race detector: every seed runs
 # the full differential oracle (sync/concurrent equivalence, quality

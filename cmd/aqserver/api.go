@@ -1,0 +1,401 @@
+package main
+
+// Runtime query management (-api): a CQL-over-HTTP control plane that
+// registers, inspects and removes continuous queries while the server
+// runs, bound to named network sources fed over the TCP line protocol
+// (-listen, internal/netstream → internal/fleet). Runtime queries get
+// the full compiled-in wiring — flight recorder, SLO watchdog,
+// structured logs, -obs instruments, optional durability — and attach
+// to their source's broadcast ring at the frontier under ShedOldest:
+// a slow runtime query sheds (charged to its own accounting) instead
+// of backpressuring the tenants it shares the source with.
+//
+//	POST   /api/queries   {"name","tenant","cql"}  register (201)
+//	GET    /api/queries                            list runtime queries
+//	GET    /api/queries/{name}                     one query's status
+//	DELETE /api/queries/{name}                     stop + deregister (204)
+//	GET    /api/sources                            list known sources
+//	POST   /api/sources   {"name"}                 pre-register a source
+//
+// docs/API.md is the full walkthrough (line-protocol grammar, quota
+// semantics, curl transcript).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cql"
+	"repro/internal/durable"
+	"repro/internal/fanout"
+	"repro/internal/fleet"
+	"repro/internal/netstream"
+	"repro/internal/obs"
+	"repro/internal/obs/tracez"
+)
+
+// maxAPIBody bounds request bodies; a CQL statement fits in far less.
+const maxAPIBody = 64 << 10
+
+// registerRequest is the POST /api/queries body.
+type registerRequest struct {
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	CQL    string `json:"cql"`
+}
+
+// apiError is every non-2xx response body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// httpError pairs a client-visible message with its status code so the
+// registration pipeline can fail at any stage with the right 4xx.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// apiHandler builds the /api/ routing table over the app's fleet
+// registry.
+func (a *app) apiHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/queries", a.handleAPIQueries)
+	mux.HandleFunc("/api/queries/", a.handleAPIQuery)
+	mux.HandleFunc("/api/sources", a.handleAPISources)
+	return mux
+}
+
+func writeAPIError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: msg})
+}
+
+// readJSONBody decodes a bounded JSON body; any malformed input is the
+// client's fault (400), never ours (the FuzzQueryAPI contract: no body
+// produces a 5xx or a panic).
+func readJSONBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAPIBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+func (a *app) handleAPIQueries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := make([]status, 0)
+		for _, name := range a.fleet.QueryNames() {
+			if q, ok := a.srv.get(name); ok {
+				out = append(out, q.status())
+			}
+		}
+		writeJSON(w, out)
+	case http.MethodPost:
+		var req registerRequest
+		if err := readJSONBody(w, r, &req); err != nil {
+			var he *httpError
+			errors.As(err, &he)
+			writeAPIError(w, he.code, he.msg)
+			return
+		}
+		q, err := a.registerQuery(req)
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) {
+				writeAPIError(w, he.code, he.msg)
+			} else {
+				writeAPIError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(q.status())
+	default:
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (a *app) handleAPIQuery(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/queries/")
+	if name == "" || strings.Contains(name, "/") {
+		writeAPIError(w, http.StatusNotFound, "unknown endpoint")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if a.fleet.Query(name) == nil {
+			writeAPIError(w, http.StatusNotFound, fmt.Sprintf("no runtime query %q", name))
+			return
+		}
+		if q, ok := a.srv.get(name); ok {
+			writeJSON(w, q.status())
+			return
+		}
+		writeAPIError(w, http.StatusNotFound, fmt.Sprintf("no runtime query %q", name))
+	case http.MethodDelete:
+		// RemoveQuery invokes the stop hook: cancel the pump, flush open
+		// windows, detach from the ring, drop the routing entry.
+		if !a.fleet.RemoveQuery(name) {
+			writeAPIError(w, http.StatusNotFound, fmt.Sprintf("no runtime query %q", name))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}
+
+func (a *app) handleAPISources(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		type sourceInfo struct {
+			Name     string `json:"name"`
+			Tuples   int64  `json:"tuplesIn"`
+			RateShed int64  `json:"rateShedTuples"`
+		}
+		out := make([]sourceInfo, 0)
+		for _, n := range a.fleet.SourceNames() {
+			s := a.fleet.Source(n)
+			out = append(out, sourceInfo{Name: n, Tuples: s.Tuples(), RateShed: s.RateShed()})
+		}
+		writeJSON(w, out)
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+		}
+		if err := readJSONBody(w, r, &req); err != nil {
+			var he *httpError
+			errors.As(err, &he)
+			writeAPIError(w, he.code, he.msg)
+			return
+		}
+		if !netstream.ValidName(req.Name) {
+			writeAPIError(w, http.StatusBadRequest,
+				fmt.Sprintf("invalid source name %q (want [A-Za-z0-9_.-]{1,%d})", req.Name, netstream.MaxNameLen))
+			return
+		}
+		a.fleet.Source(req.Name)
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, map[string]string{"name": req.Name})
+	default:
+		writeAPIError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// admissionError maps fleet admission failures onto HTTP status codes:
+// tenant over quota → 429, name taken → 409, anything else → 400.
+func admissionError(err error) error {
+	var qe *fleet.QuotaError
+	if errors.As(err, &qe) {
+		return &httpError{code: http.StatusTooManyRequests, msg: err.Error()}
+	}
+	var de *fleet.DuplicateError
+	if errors.As(err, &de) {
+		return &httpError{code: http.StatusConflict, msg: err.Error()}
+	}
+	return badRequest("%v", err)
+}
+
+// registerQuery is the full runtime admission pipeline: validate,
+// parse, bind, quota-check, wire a runner exactly like a compiled-in
+// query, attach it to the source ring at the frontier, and start its
+// pump. Every failure before the pump starts leaves no residue.
+func (a *app) registerQuery(req registerRequest) (*queryRunner, error) {
+	if !netstream.ValidName(req.Name) {
+		return nil, badRequest("invalid query name %q (want [A-Za-z0-9_.-]{1,%d})", req.Name, netstream.MaxNameLen)
+	}
+	if req.Tenant != "" && !netstream.ValidName(req.Tenant) {
+		return nil, badRequest("invalid tenant %q", req.Tenant)
+	}
+	if _, exists := a.srv.get(req.Name); exists {
+		return nil, &httpError{code: http.StatusConflict, msg: fmt.Sprintf("query %q already exists", req.Name)}
+	}
+	stmt, err := cql.Parse(req.CQL)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := stmt.BindSource(a.fleet); err != nil {
+		code := http.StatusNotFound // unknown source
+		if stmt.TraceFile != "" {
+			code = http.StatusBadRequest
+		}
+		return nil, &httpError{code: code, msg: err.Error()}
+	}
+
+	// Admission precheck before any heavy state exists: building the
+	// runner may open (and recover) a durable log, and a rejected
+	// registration must leave nothing on disk. AddQuery below remains
+	// the authoritative check under concurrent registrations.
+	if err := a.fleet.Admissible(req.Name, req.Tenant); err != nil {
+		return nil, admissionError(err)
+	}
+
+	q, dlog, err := a.buildRuntimeRunner(req.Name, req.CQL, stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	src := a.fleet.Source(stmt.Source)
+	sub := src.Attach(req.Name)
+	// Charge upstream losses to this query from its own baseline: ring
+	// laps are per-subscriber already; the source-level rate-quota shed
+	// counter is rebased to attach time.
+	rateBase := src.RateShed()
+	q.tenant = req.Tenant
+	q.shedExtra = func() int64 { return sub.Shed() + src.RateShed() - rateBase }
+	// Ring gauges get the same label sets as compiled-in -fanout
+	// replicas (aq_fanout_lag_batches, aq_queue_depth{queue="fanout"}).
+	instrumentFanout(a.srv.reg, q, sub)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pumpDone := make(chan struct{})
+	entry := &fleet.Query{
+		Name:      req.Name,
+		Tenant:    req.Tenant,
+		Statement: req.CQL,
+		Stop: func() {
+			cancel()
+			sub.Unsubscribe()
+			<-pumpDone
+			q.finish() // idempotent; the pump's deferred finish usually already ran
+			if dlog != nil {
+				if err := dlog.Close(); err != nil {
+					q.log.Error("closing durable log", "err", err)
+				}
+			}
+			a.srv.remove(req.Name)
+		},
+	}
+	if err := a.fleet.AddQuery(entry); err != nil {
+		cancel()
+		close(pumpDone) // Stop never runs; nothing is pumping
+		sub.Unsubscribe()
+		if dlog != nil {
+			dlog.Close()
+		}
+		return nil, admissionError(err)
+	}
+
+	a.srv.add(q)
+	go func() {
+		defer close(pumpDone)
+		pumpRing(ctx, q, sub)
+	}()
+	q.log.Info("runtime query registered", "tenant", req.Tenant, "source", stmt.Source, "cql", req.CQL)
+	return q, nil
+}
+
+// buildRuntimeRunner constructs and wires one runtime query runner with
+// the exact compiled-in chain: core selection, flight recorder, SLO
+// watchdog, per-query logger, dump sink, -obs instruments (including
+// the ring gauges and durable_* series), optional durability, started
+// worker.
+func (a *app) buildRuntimeRunner(name, statement string, stmt cql.Query) (*queryRunner, *durable.QueryLog, error) {
+	var q *queryRunner
+	switch {
+	case stmt.GroupBy:
+		if stmt.Quality > 0 {
+			return nil, nil, badRequest("QUALITY is not supported for GROUP BY queries registered at runtime; use HANDLER kslack(...)")
+		}
+		if stmt.Handler.Kind != "kslack" {
+			return nil, nil, badRequest("GROUP BY queries registered at runtime require HANDLER kslack(...), got %q", stmt.Handler.Kind)
+		}
+		q = newKeyedQueryRunner(name, stmt.Spec, stmt.Agg, stmt.Handler.K, a.cfg.shards, a.cfg.batch)
+	case stmt.Quality > 0:
+		q = newQueryRunner(name, stmt.Quality, stmt.Spec, stmt.Agg)
+		q.batchSize = a.cfg.batch
+	default:
+		h, err := stmt.BuildHandler()
+		if err != nil {
+			return nil, nil, badRequest("%v", err)
+		}
+		q = newBufferedQueryRunner(name, stmt.Spec, stmt.Agg, h, stmt.Handler.K)
+		q.batchSize = a.cfg.batch
+	}
+	q.statement = statement
+	q.setAggCore(a.cfg.aggCore)
+
+	rec := tracez.NewRecorder(a.cfg.traceBuf)
+	tr := tracez.New(rec, name)
+	var wd *tracez.Watchdog
+	if !stmt.GroupBy && stmt.Quality > 0 {
+		wd = tracez.NewWatchdog(stmt.Quality, nil)
+		tr.SetWatchdog(wd)
+	}
+	q.log = slog.New(tracez.NewLogHandler(a.cfg.log.Handler(), rec)).With("query", name)
+	if a.cfg.traceDump != "" {
+		installDumpSink(tr, a.cfg.traceDump, q.log)
+	}
+	q.setTracer(tr, wd)
+	if a.srv.reg != nil {
+		q.instrument(a.srv.reg)
+	}
+
+	var dlog *durable.QueryLog
+	if a.cfg.durableDir != "" && !q.grouped {
+		opts := durable.Options{
+			Dir:           filepath.Join(a.cfg.durableDir, name),
+			CommitEvery:   a.cfg.batch,
+			SnapshotEvery: a.cfg.snapshotEvery,
+		}
+		if a.srv.reg != nil {
+			opts.Metrics = durable.NewMetrics(a.srv.reg, obs.L("query", name))
+		}
+		var err error
+		dlog, err = durable.Open(opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open durable dir for %s: %w", name, err)
+		}
+		if err := q.attachDurable(dlog); err != nil {
+			dlog.Close()
+			return nil, nil, fmt.Errorf("recover %s: %w", name, err)
+		}
+	}
+
+	if q.grouped {
+		q.startGrouped(a.cfg.ingestCap, a.cfg.policy)
+	} else {
+		q.start(a.cfg.ingestCap, a.cfg.policy)
+	}
+	return q, dlog, nil
+}
+
+// pumpRing moves batches from a source subscription into the runner
+// until the ring ends (source closed on drain) or ctx is cancelled
+// (DELETE). Either way the runner's open windows are flushed.
+func pumpRing(ctx context.Context, q *queryRunner, sub *fanout.Sub) {
+	defer q.finish()
+	for {
+		items, seq, ok, err := sub.NextBatch(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				q.setHealth(healthStalled)
+				q.log.Error("source ring failed", "err", err)
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		for _, it := range items {
+			q.feed(it)
+		}
+		sub.Release(seq)
+	}
+}

@@ -1,0 +1,433 @@
+package main
+
+// Socket-level integration tests for the network control plane: a real
+// aqserver app on ephemeral ports, queries registered over HTTP,
+// tuples streamed over TCP through internal/netstream, and the emitted
+// windows compared byte-for-byte (oracle.SameOutput) against the same
+// plan run in-process by the cq engine.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/cql"
+	"repro/internal/fleet"
+	"repro/internal/gen"
+	"repro/internal/netstream"
+	"repro/internal/oracle"
+	"repro/internal/resilience"
+	"repro/internal/stream"
+)
+
+// apiTestApp boots an app with the control plane on (no compiled-in
+// feeds running) plus an httptest server and a TCP ingest listener on
+// ephemeral ports.
+func apiTestApp(t *testing.T, cfg appConfig) (*app, *httptest.Server) {
+	t.Helper()
+	cfg.apiOn = true
+	if cfg.ingestCap == 0 {
+		cfg.ingestCap = 4096
+	}
+	if cfg.policy == 0 {
+		cfg.policy = resilience.Block
+	}
+	if cfg.shards == 0 {
+		cfg.shards = 2
+	}
+	if cfg.log == nil {
+		cfg.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	a, err := newApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.startListener("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.handler())
+	t.Cleanup(func() {
+		a.drain()
+		ts.Close()
+	})
+	return a, ts
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}
+
+func doDelete(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, name string) (status, int) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/api/queries/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st status
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// registerSourceAndQuery creates the named source and registers a query
+// over it, failing the test on any non-201.
+func registerSourceAndQuery(t *testing.T, ts *httptest.Server, source, name, cqlText string) {
+	t.Helper()
+	if resp, body := postJSON(t, ts, "/api/sources", map[string]string{"name": source}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create source: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts, "/api/queries",
+		registerRequest{Name: name, Tenant: "t1", CQL: cqlText}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register query: %d %s", resp.StatusCode, body)
+	}
+}
+
+// waitTuples polls the query status until tuplesIn reaches want.
+func waitTuples(t *testing.T, ts *httptest.Server, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, code := getStatus(t, ts, name)
+		if code == http.StatusOK && st.TuplesIn >= want {
+			if st.TuplesIn > want {
+				t.Fatalf("query %s ingested %d tuples, want exactly %d", name, st.TuplesIn, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query %s stuck at %d/%d tuples", name, st.TuplesIn, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sensorItems builds an arrival-ordered item stream from the sensor
+// generator (Pareto delays: plenty of disorder for the handler to chew).
+func sensorItems(n int, seed uint64) []stream.Item {
+	tuples := gen.Sensor(n, seed).Arrivals()
+	items := make([]stream.Item, len(tuples))
+	for i, tp := range tuples {
+		items[i] = stream.DataItem(tp)
+	}
+	return items
+}
+
+// runOracle executes the same CQL plan in-process over the same items
+// with the cq engine — the ground truth the networked path must match
+// byte for byte.
+func runOracle(t *testing.T, cqlText string, items []stream.Item) *cq.AggReport {
+	t.Helper()
+	stmt, err := cql.Parse(cqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stmt.BuildHandler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cq.New(stream.NewSliceSource(items)).Handle(h).Window(stmt.Spec, stmt.Agg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// runnerReport converts a finished runner's state into the AggReport
+// shape oracle.SameOutput compares. Only valid after finish() on a
+// non-grouped runner whose full result history fits the ring.
+func runnerReport(t *testing.T, q *queryRunner) *cq.AggReport {
+	t.Helper()
+	results := q.recentResults(0)
+	if len(results) == resultRing {
+		t.Fatalf("result ring overflowed (%d results); shrink the plan so the comparison sees every window", resultRing)
+	}
+	return &cq.AggReport{
+		Results:  results,
+		PreFlush: q.preFlush,
+		Handler:  q.buf.Stats(),
+		Op:       q.op.Stats(),
+	}
+}
+
+// TestAPIRegisteredQueryMatchesInProcess is the end-to-end acceptance
+// test: an HTTP-registered query fed over TCP — including one client
+// reconnect across a full ingest-listener restart — emits windows
+// byte-identical to the same plan run in-process, per oracle.SameOutput.
+func TestAPIRegisteredQueryMatchesInProcess(t *testing.T) {
+	const cqlText = `SELECT sum FROM sensors WINDOW 4s SLIDE 1s HANDLER kslack(500ms)`
+	a, ts := apiTestApp(t, appConfig{batch: 8})
+	registerSourceAndQuery(t, ts, "sensors", "net-sum", cqlText)
+
+	items := sensorItems(4000, 42)
+	half := len(items) / 2
+	addr := a.netl.Addr().String()
+	c := &netstream.Client{Addr: addr, Source: "sensors", Tenant: "t1",
+		Retry: resilience.Retry{MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Seed: 1}}
+	defer c.Close()
+	for i := 0; i < half; i += 200 {
+		if err := c.Send(context.Background(), items[i:i+200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The status poll proves the first half fully landed before the
+	// restart, so the reconnect epoch below starts from a known boundary
+	// and at-least-once delivery degenerates to exactly-once.
+	waitTuples(t, ts, "net-sum", int64(half))
+
+	// Kill and restart the ingest listener on the same address; close the
+	// client so its next Send must re-dial and replay the hello.
+	if err := a.netl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.startListener(addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(items); i += 200 {
+		if err := c.Send(context.Background(), items[i:i+200]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitTuples(t, ts, "net-sum", int64(len(items)))
+
+	// Grab the runner before DELETE removes it from the routing table,
+	// then stop it: the pump unwinds and finish() flushes open windows.
+	q, ok := a.srv.get("net-sum")
+	if !ok {
+		t.Fatal("runner not found")
+	}
+	if resp := doDelete(t, ts, "/api/queries/net-sum"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+
+	got := runnerReport(t, q)
+	want := runOracle(t, cqlText, items)
+	if err := oracle.SameOutput(got, want); err != nil {
+		t.Fatalf("networked query diverged from in-process oracle: %v", err)
+	}
+	if len(want.Results) == 0 {
+		t.Fatal("oracle emitted no windows; the comparison proved nothing")
+	}
+	if st := q.status(); st.Shed != 0 {
+		t.Fatalf("unexpected sheds (%d) in a lossless test run", st.Shed)
+	}
+}
+
+// TestAPIDropQueryMidStream deletes one of two queries sharing a source
+// while tuples are still flowing: the survivor keeps ingesting to
+// completion, the deleted query flushes and disappears from the API.
+func TestAPIDropQueryMidStream(t *testing.T) {
+	a, ts := apiTestApp(t, appConfig{batch: 8})
+	const cqlText = `SELECT count FROM sensors WINDOW 2s SLIDE 1s HANDLER maxslack`
+	registerSourceAndQuery(t, ts, "sensors", "keep", cqlText)
+	if resp, body := postJSON(t, ts, "/api/queries",
+		registerRequest{Name: "drop", Tenant: "t1", CQL: cqlText}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register drop query: %d %s", resp.StatusCode, body)
+	}
+
+	items := sensorItems(3000, 7)
+	c := &netstream.Client{Addr: a.netl.Addr().String(), Source: "sensors"}
+	defer c.Close()
+	third := len(items) / 3
+	if err := c.Send(context.Background(), items[:third]); err != nil {
+		t.Fatal(err)
+	}
+	waitTuples(t, ts, "drop", int64(third))
+
+	dropped, _ := a.srv.get("drop")
+	if resp := doDelete(t, ts, "/api/queries/drop"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE mid-stream: %d", resp.StatusCode)
+	}
+	if dropped.healthState() != healthDone {
+		t.Fatalf("dropped query health = %s, want done (windows flushed)", dropped.healthState())
+	}
+	if _, code := getStatus(t, ts, "drop"); code != http.StatusNotFound {
+		t.Fatalf("GET deleted query = %d, want 404", code)
+	}
+
+	// The survivor is unaffected by its neighbour's departure.
+	if err := c.Send(context.Background(), items[third:]); err != nil {
+		t.Fatal(err)
+	}
+	waitTuples(t, ts, "keep", int64(len(items)))
+	st, _ := getStatus(t, ts, "keep")
+	if st.Windows == 0 {
+		t.Fatal("survivor emitted no windows")
+	}
+	if st.Statement != cqlText || st.Tenant != "t1" {
+		t.Fatalf("survivor status lost registration identity: %+v", st)
+	}
+}
+
+// TestAPIQuotaAndValidation covers the admission-control 4xx surface:
+// tenant query quota (429), duplicate names (409), unknown sources
+// (404), bad CQL and bad names (400).
+func TestAPIQuotaAndValidation(t *testing.T) {
+	durDir := t.TempDir()
+	_, ts := apiTestApp(t, appConfig{quotas: fleet.Quotas{MaxQueriesPerTenant: 1}, durableDir: durDir})
+	const cqlText = `SELECT sum FROM s1 WINDOW 2s SLIDE 1s QUALITY 1%`
+	registerSourceAndQuery(t, ts, "s1", "q1", cqlText)
+
+	cases := []struct {
+		name string
+		req  registerRequest
+		want int
+	}{
+		{"quota", registerRequest{Name: "q2", Tenant: "t1", CQL: cqlText}, http.StatusTooManyRequests},
+		{"duplicate", registerRequest{Name: "q1", Tenant: "other", CQL: cqlText}, http.StatusConflict},
+		{"unknown source", registerRequest{Name: "q3", Tenant: "other", CQL: `SELECT sum FROM nosuch WINDOW 2s SLIDE 1s QUALITY 1%`}, http.StatusNotFound},
+		{"trace source", registerRequest{Name: "q4", Tenant: "other", CQL: `SELECT sum FROM trace('x.csv') WINDOW 2s SLIDE 1s QUALITY 1%`}, http.StatusBadRequest},
+		{"bad cql", registerRequest{Name: "q5", Tenant: "other", CQL: `SELECT nonsense`}, http.StatusBadRequest},
+		{"bad name", registerRequest{Name: "no spaces", Tenant: "other", CQL: cqlText}, http.StatusBadRequest},
+		{"grouped without kslack", registerRequest{Name: "q6", Tenant: "other", CQL: `SELECT sum FROM s1 GROUP BY key WINDOW 2s SLIDE 1s QUALITY 1%`}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts, "/api/queries", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Rejected registrations must leave no durable residue (the
+	// admission precheck runs before the runner — and its durable log —
+	// is built); the admitted q1 has a state directory.
+	if _, err := os.Stat(filepath.Join(durDir, "q1")); err != nil {
+		t.Errorf("admitted query has no durable state: %v", err)
+	}
+	for _, tc := range cases {
+		if _, err := os.Stat(filepath.Join(durDir, tc.req.Name)); err == nil && tc.req.Name != "q1" {
+			t.Errorf("rejected registration %q left durable state", tc.req.Name)
+		}
+	}
+
+	// Deleting q1 frees the tenant's quota slot.
+	if resp := doDelete(t, ts, "/api/queries/q1"); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d", resp.StatusCode)
+	}
+	if resp, body := postJSON(t, ts, "/api/queries",
+		registerRequest{Name: "q2", Tenant: "t1", CQL: cqlText}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register after delete: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAPIIngestQuotaShedsIntoQueryAccounting drives a source past its
+// rate quota and checks the dropped tuples are charged to the attached
+// query's shed count (the AggReport.Shed semantics of the issue).
+func TestAPIIngestQuotaShedsIntoQueryAccounting(t *testing.T) {
+	a, ts := apiTestApp(t, appConfig{quotas: fleet.Quotas{MaxIngestPerSec: 1000}})
+	registerSourceAndQuery(t, ts, "s1", "q1",
+		`SELECT sum FROM s1 WINDOW 2s SLIDE 1s HANDLER none`)
+
+	// 3000 tuples against a 1000-token bucket: at least 1000 admitted
+	// (the initial burst), a large remainder shed at the door.
+	items := sensorItems(3000, 3)
+	c := &netstream.Client{Addr: a.netl.Addr().String(), Source: "s1"}
+	defer c.Close()
+	if err := c.Send(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := getStatus(t, ts, "q1")
+		src := a.fleet.Source("s1")
+		if src.RateShed() > 0 && st.TuplesIn+st.Shed >= int64(len(items)) && st.TuplesIn == src.Tuples() {
+			if st.Shed < src.RateShed() {
+				t.Fatalf("query shed %d does not include the source's %d rate-shed tuples", st.Shed, src.RateShed())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quota accounting never converged: status=%+v rateShed=%d", st, src.RateShed())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRuntimeQueryMetricLabelParity is the satellite-4 regression test:
+// a runtime-registered query must export the same per-query label sets
+// compiled-in queries get — the fan-out ring gauges and, with
+// durability on, the durable_* series.
+func TestRuntimeQueryMetricLabelParity(t *testing.T) {
+	a, ts := apiTestApp(t, appConfig{obs: true, durableDir: t.TempDir(), batch: 8})
+	registerSourceAndQuery(t, ts, "s1", "rt-q",
+		`SELECT sum FROM s1 WINDOW 2s SLIDE 1s QUALITY 1%`)
+
+	c := &netstream.Client{Addr: a.netl.Addr().String(), Source: "s1"}
+	defer c.Close()
+	if err := c.Send(context.Background(), sensorItems(500, 9)); err != nil {
+		t.Fatal(err)
+	}
+	waitTuples(t, ts, "rt-q", 500)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// Ring gauges with the same label sets -fanout replicas get.
+		`aq_fanout_lag_batches{query="rt-q"}`,
+		`aq_queue_depth{query="rt-q",queue="fanout"}`,
+		// The standard per-query family.
+		`aq_tuples_in_total{query="rt-q"}`,
+		`aq_shed_tuples_total{query="rt-q"}`,
+		`aq_emit_latency_ms_bucket{query="rt-q"`,
+		// Durability series (regression: these were compiled-in only).
+		`durable_journal_appends_total{query="rt-q"}`,
+		`durable_journal_commits_total{query="rt-q"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s for the runtime query", want)
+		}
+	}
+	if n := fmt.Sprintf("%d", len(text)); n == "0" {
+		t.Fatal("empty metrics body")
+	}
+}

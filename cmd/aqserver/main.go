@@ -70,7 +70,9 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/fleet"
 	"repro/internal/gen"
+	"repro/internal/netstream"
 	"repro/internal/obs"
 	"repro/internal/obs/tracez"
 	"repro/internal/resilience"
@@ -109,6 +111,14 @@ type appConfig struct {
 	// only).
 	durableDir    string
 	snapshotEvery int64
+
+	// Network control plane: listen is the TCP line-protocol ingest
+	// address (-listen, empty = off), apiOn mounts /api/ for runtime
+	// query management (-api), quotas bounds per-tenant consumption.
+	// Either one brings up the fleet registry.
+	listen string
+	apiOn  bool
+	quotas fleet.Quotas
 }
 
 // app ties the HTTP state, the query runners and their feed loops
@@ -126,6 +136,12 @@ type app struct {
 	loads  []func(seed uint64) gen.Config
 	dlogs  []*durable.QueryLog
 	wg     sync.WaitGroup
+
+	// Network control plane (nil without -listen/-api): the fleet
+	// registry owns named sources and runtime query entries; netl is the
+	// TCP ingest listener feeding it.
+	fleet *fleet.Registry
+	netl  *netstream.Listener
 }
 
 func newApp(cfg appConfig) (*app, error) {
@@ -136,6 +152,12 @@ func newApp(cfg appConfig) (*app, error) {
 	if cfg.obs {
 		a.srv.reg = obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(a.srv.reg)
+	}
+	if cfg.listen != "" || cfg.apiOn {
+		a.fleet = fleet.NewRegistry(fleet.Options{Quotas: cfg.quotas})
+	}
+	if cfg.apiOn {
+		a.srv.api = a.apiHandler()
 	}
 	specs := []struct {
 		name    string
@@ -259,13 +281,37 @@ func (a *app) startFeeds(ctx context.Context) {
 	}
 }
 
-// drain performs the graceful-shutdown sequence: flip readiness, wait for
-// the feed loops to stop, then flush every runner's open windows. It is
-// idempotent because runner.finish is.
+// startListener brings up the TCP line-protocol ingest listener over
+// the fleet registry (-listen). Split from newApp so tests can boot on
+// an ephemeral port.
+func (a *app) startListener(addr string) error {
+	l, err := netstream.Listen(addr, a.fleet, a.log)
+	if err != nil {
+		return err
+	}
+	a.netl = l
+	return nil
+}
+
+// drain performs the graceful-shutdown sequence: flip readiness, stop
+// network ingest, end every runtime query, wait for the feed loops to
+// stop, then flush every runner's open windows. It is idempotent
+// because runner.finish is.
 func (a *app) drain() {
 	a.srv.draining.Store(true)
 	for _, q := range a.runners {
 		q.setHealth(healthDraining)
+	}
+	// Network side first: stop accepting and close ingest connections,
+	// then close every source ring (runtime queries drain to a clean end
+	// of stream) and stop the runtime query entries.
+	if a.netl != nil {
+		if err := a.netl.Close(); err != nil {
+			a.log.Error("closing ingest listener", "err", err)
+		}
+	}
+	if a.fleet != nil {
+		a.fleet.Close()
 	}
 	a.wg.Wait()
 	for _, q := range a.runners {
@@ -294,6 +340,10 @@ func main() {
 	traceDump := flag.String("trace-dump", "", "directory for automatic flight-recorder dumps (panic, breaker trip, quality violation); empty = off")
 	durableDir := flag.String("durable-dir", "", "directory for crash-consistent journals+snapshots, one subdirectory per non-grouped query; empty = off")
 	snapshotInterval := flag.Int64("snapshot-interval", 50000, "snapshot cadence in accepted items per query (with -durable-dir); 0 = journal only")
+	listen := flag.String("listen", "", "TCP line-protocol ingest address (e.g. :9090); empty = off (see docs/API.md)")
+	apiOn := flag.Bool("api", false, "mount /api/ for runtime CQL query management (see docs/API.md)")
+	maxQueries := flag.Int("max-queries-per-tenant", 0, "runtime queries one tenant may keep registered; 0 = unlimited")
+	maxIngest := flag.Int("max-ingest-per-sec", 0, "data tuples per second one source admits (token bucket, 1s burst); 0 = unlimited")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -316,12 +366,20 @@ func main() {
 	if *fanoutN < 1 {
 		fatal(fmt.Errorf("-fanout must be >= 1, got %d", *fanoutN))
 	}
+	if *maxQueries < 0 {
+		fatal(fmt.Errorf("-max-queries-per-tenant must be >= 0, got %d", *maxQueries))
+	}
+	if *maxIngest < 0 {
+		fatal(fmt.Errorf("-max-ingest-per-sec must be >= 0, got %d", *maxIngest))
+	}
 	cfg := appConfig{n: *n, rate: *rate, ingestCap: *ingestCap, shards: *shards, batch: *batch,
 		fanout:  *fanoutN,
 		aggCore: core,
 		policy:  policy, chaos: chaos, chaosOn: chaos.Enabled(), obs: *obsOn,
 		traceBuf: *traceBuf, traceDump: *traceDump, log: logger,
-		durableDir: *durableDir, snapshotEvery: *snapshotInterval}
+		durableDir: *durableDir, snapshotEvery: *snapshotInterval,
+		listen: *listen, apiOn: *apiOn,
+		quotas: fleet.Quotas{MaxQueriesPerTenant: *maxQueries, MaxIngestPerSec: *maxIngest}}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -331,6 +389,12 @@ func main() {
 		fatal(err)
 	}
 	a.startFeeds(ctx)
+	if cfg.listen != "" {
+		if err := a.startListener(cfg.listen); err != nil {
+			fatal(err)
+		}
+		logger.Info("aqserver: ingest listening", "addr", a.netl.Addr().String())
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: a.srv.handler()}
 	logger.Info("aqserver: listening", "queries", len(a.runners), "addr", *addr,

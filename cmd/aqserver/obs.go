@@ -46,12 +46,13 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 	// and the emission-latency histogram filled by absorb. Grouped runners
 	// have no adaptive handler — their push side is the cq engine's own
 	// telemetry (stage depths, batch sizes, per-shard tuple counters).
-	if q.handler != nil {
+	switch {
+	case q.handler != nil:
 		q.handler.Instrument(core.NewTelemetry(reg, q.name))
 		q.emitLatency = reg.Histogram("aq_emit_latency_ms",
 			"Window result emission latency in stream-time ms (emission position minus window end).",
 			cq.LatencyBucketsFor(q.spec), lbl)
-	} else {
+	case q.grouped:
 		// The engine telemetry already owns aq_shed_tuples_total and
 		// aq_emit_latency_ms for this query (the runner's shed path
 		// increments the shared counter in noteShed; registering the
@@ -59,6 +60,14 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		// histogram from absorb too would double-count). q.emitLatency
 		// stays nil; the runner's p95 gauge still sees every result.
 		q.telemetry = cq.NewTelemetry(reg, q.name, q.spec)
+	default:
+		// Non-grouped runner over a plain (non-adaptive) disorder handler
+		// — runtime-registered queries without QUALITY. No controller
+		// telemetry to install; the runner owns its latency histogram and
+		// shed counter like the adaptive case.
+		q.emitLatency = reg.Histogram("aq_emit_latency_ms",
+			"Window result emission latency in stream-time ms (emission position minus window end).",
+			cq.LatencyBucketsFor(q.spec), lbl)
 	}
 
 	// Pull side: cumulative counters owned by the runner.
@@ -73,9 +82,10 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 		func() int64 { return q.tuplesIn })
 	counter("aq_windows_emitted_total", "Window results emitted.",
 		func() int64 { return q.emitted })
-	if q.handler != nil {
-		counter("aq_shed_tuples_total", "Data tuples dropped by the ingest overload policy.",
-			func() int64 { return q.shed })
+	if !q.grouped {
+		counter("aq_shed_tuples_total",
+			"Data tuples lost to this query: overload-policy drops plus upstream ring laps and ingest-quota sheds.",
+			func() int64 { return q.shedTotalLocked() })
 	}
 	counter("aq_source_retries_total", "Source retry attempts spent by the retry policy.",
 		func() int64 { return q.retries })
@@ -114,7 +124,7 @@ func (q *queryRunner) instrument(reg *obs.Registry) {
 			if q.handler == nil {
 				return 0
 			}
-			return metrics.ShedAdjustedErr(q.handler.Quality().RealizedErrEWMA, q.shed, q.tuplesIn)
+			return metrics.ShedAdjustedErr(q.handler.Quality().RealizedErrEWMA, q.shedTotalLocked(), q.tuplesIn)
 		})
 	for _, state := range healthStates {
 		state := state

@@ -118,6 +118,16 @@ type queryRunner struct {
 	// emitLatency is the push-side latency histogram; nil without -obs
 	// (see obs.go for the rest of the per-query instruments).
 	emitLatency *obs.Histogram
+
+	// Runtime-registered queries (api.go). statement/tenant identify the
+	// registration; shedExtra folds upstream losses — fan-out ring laps
+	// and ingest-quota drops — into the query's shed accounting; preFlush
+	// (set by finish) is the emission count before the final flush, the
+	// AggReport.PreFlush analogue for oracle comparisons.
+	statement string
+	tenant    string
+	shedExtra func() int64
+	preFlush  int
 }
 
 const resultRing = 256
@@ -135,6 +145,27 @@ func newQueryRunner(name string, theta float64, spec window.Spec, agg window.Fac
 		log:     slog.Default(),
 	}
 	q.buf = q.handler
+	return q
+}
+
+// newBufferedQueryRunner builds a non-grouped runner over an arbitrary
+// disorder handler: runtime-registered queries may pick any CQL HANDLER
+// instead of the adaptive controller, so q.handler stays nil (no
+// quality estimator to read) and q.buf drives the write path directly.
+// k is the fixed slack reported as currentK (zero for handlers without
+// one).
+func newBufferedQueryRunner(name string, spec window.Spec, agg window.Factory, h buffer.Handler, k stream.Time) *queryRunner {
+	q := &queryRunner{
+		name:    name,
+		spec:    spec,
+		agg:     agg,
+		fixedK:  k,
+		op:      window.NewOp(spec, agg, window.DropLate, 0),
+		latency: stats.NewP2(0.95),
+		health:  healthFeeding,
+		log:     slog.Default(),
+	}
+	q.buf = h
 	return q
 }
 
@@ -355,6 +386,7 @@ func (q *queryRunner) finish() {
 			q.health = healthDone
 			return
 		}
+		q.preFlush = int(q.emitted)
 		q.rel = q.buf.Flush(q.rel[:0])
 		q.resScratch = q.resScratch[:0]
 		for _, t := range q.rel {
@@ -406,6 +438,18 @@ func (q *queryRunner) absorbKeyed(kr window.KeyedResult) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.absorbOne(kr.Result)
+}
+
+// shedTotalLocked returns the query's full shed count: overload-policy
+// drops plus — for runtime queries riding a shared ring — upstream
+// losses (ring laps, ingest-quota drops) charged via shedExtra. q.mu
+// must be held (shedExtra itself only reads atomics).
+func (q *queryRunner) shedTotalLocked() int64 {
+	s := q.shed
+	if q.shedExtra != nil {
+		s += q.shedExtra()
+	}
+	return s
 }
 
 func (q *queryRunner) noteShed() {
@@ -475,6 +519,10 @@ type status struct {
 	Done           bool    `json:"done"`
 	Grouped        bool    `json:"grouped,omitempty"`
 	Shards         int     `json:"shards,omitempty"`
+	// Statement and Tenant identify runtime-registered queries (api.go);
+	// empty for compiled-in ones.
+	Statement string `json:"statement,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
 	// Durability (present only with -durable-dir on a non-grouped query).
 	Durable     bool            `json:"durable,omitempty"`
 	JournalErrs int64           `json:"journalErrors,omitempty"`
@@ -494,7 +542,7 @@ func (q *queryRunner) status() status {
 		Windows:     q.emitted,
 		LatencyP95:  q.latency.Value(),
 		Health:      q.health,
-		Shed:        q.shed,
+		Shed:        q.shedTotalLocked(),
 		Retries:     q.retries,
 		Panics:      q.panics,
 		Done:        q.done,
@@ -503,12 +551,14 @@ func (q *queryRunner) status() status {
 		Durable:     q.dlog != nil,
 		JournalErrs: q.journalErrs,
 		Recovery:    q.recovery,
+		Statement:   q.statement,
+		Tenant:      q.tenant,
 	}
 	if q.handler != nil {
 		qs := q.handler.Quality()
 		st.K = q.handler.K()
 		st.RealizedErr = qs.RealizedErrEWMA
-		st.RealizedErrAdj = metrics.ShedAdjustedErr(qs.RealizedErrEWMA, q.shed, q.tuplesIn)
+		st.RealizedErrAdj = metrics.ShedAdjustedErr(qs.RealizedErrEWMA, st.Shed, q.tuplesIn)
 		st.EstErr = qs.LastEstErr
 		st.Adaptations = qs.Adaptations
 	} else {
@@ -548,6 +598,9 @@ type server struct {
 	queries  map[string]*queryRunner
 	draining atomic.Bool
 	reg      *obs.Registry // non-nil with -obs: serves /metrics and pprof
+	// api is the runtime query-management handler (api.go); nil without
+	// -api.
+	api http.Handler
 }
 
 func newServer() *server {
@@ -558,6 +611,15 @@ func (s *server) add(q *queryRunner) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queries[q.name] = q
+}
+
+// remove drops a runtime-deregistered query from the routing table. The
+// runner object stays valid for anyone still holding it; only lookup
+// stops resolving.
+func (s *server) remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.queries, name)
 }
 
 func (s *server) get(name string) (*queryRunner, bool) {
@@ -674,6 +736,9 @@ func (s *server) handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/debug/aq/trace", s.handleTrace)
+	if s.api != nil {
+		mux.Handle("/api/", s.api)
+	}
 	if s.reg != nil {
 		mountObs(mux, s.reg)
 	}

@@ -35,6 +35,10 @@ func (q *queryRunner) setTracer(tr *tracez.Tracer, wd *tracez.Watchdog) {
 	if q.handler != nil {
 		q.handler.TraceTo(tr)
 		q.buf = buffer.NewTraced(q.handler, tr)
+	} else if !q.grouped && q.buf != nil {
+		// Runtime-registered queries may run a plain (non-adaptive)
+		// disorder handler; its buffer activity is traced the same way.
+		q.buf = buffer.NewTraced(q.buf, tr)
 	}
 }
 

@@ -34,6 +34,28 @@ func (q Query) BuildHandler() (buffer.Handler, error) {
 	}
 }
 
+// SourceCatalog answers whether a named stream exists. The network
+// control plane's source registry implements it so statements can be
+// bound against the live fleet instead of the built-in generators.
+type SourceCatalog interface {
+	HasSource(name string) bool
+}
+
+// BindSource validates the query's FROM clause against a catalog of
+// live sources. Unlike Tuples — which materializes a built-in
+// generator — binding admits any registered source name, but rejects
+// trace(...) sources (a network engine replays nothing from local
+// disk) and names the catalog has never seen.
+func (q Query) BindSource(cat SourceCatalog) error {
+	if q.TraceFile != "" {
+		return fmt.Errorf("cql: trace(...) sources cannot bind to a live stream registry")
+	}
+	if !cat.HasSource(q.Source) {
+		return fmt.Errorf("cql: unknown source %q: not registered and no ingest seen", q.Source)
+	}
+	return nil
+}
+
 // Tuples materializes the query's input stream: n generated tuples with
 // the given seed, or the recorded trace for trace(...) sources (n and
 // seed ignored there).

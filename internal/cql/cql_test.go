@@ -231,3 +231,32 @@ func TestWindowFactoryWiring(t *testing.T) {
 		t.Fatalf("String = %q", q.String())
 	}
 }
+
+type mapCatalog map[string]bool
+
+func (m mapCatalog) HasSource(name string) bool { return m[name] }
+
+func TestBindSource(t *testing.T) {
+	cat := mapCatalog{"sensors": true}
+	q, err := Parse(`SELECT sum FROM sensors WINDOW 10s SLIDE 1s QUALITY 1%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.BindSource(cat); err != nil {
+		t.Fatalf("registered source rejected: %v", err)
+	}
+	q2, err := Parse(`SELECT sum FROM nosuch WINDOW 10s SLIDE 1s QUALITY 1%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.BindSource(cat); err == nil {
+		t.Fatal("unregistered source bound")
+	}
+	q3, err := Parse(`SELECT sum FROM trace('x.csv') WINDOW 10s SLIDE 1s QUALITY 1%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q3.BindSource(cat); err == nil {
+		t.Fatal("trace source bound to live registry")
+	}
+}

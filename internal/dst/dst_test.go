@@ -224,3 +224,32 @@ func TestTranscriptRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed transcript:\n got %+v\nwant %+v", got, tr)
 	}
 }
+
+// TestNetReplayPreservesTranscript pins the Plan.Net contract directly:
+// a transcript pushed through the netstream wire protocol decodes to the
+// byte-identical item sequence, and the shrinker drops the Net dimension
+// before anything else.
+func TestNetReplayPreservesTranscript(t *testing.T) {
+	p := PlanForSeed(11)
+	p.Net = true
+	items := p.transcript()
+	decoded, err := replayNetstream(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DigestItems(decoded), DigestItems(items); got != want {
+		t.Fatalf("wire round trip changed the transcript: %s != %s (%d vs %d items)",
+			got, want, len(decoded), len(items))
+	}
+
+	// Net is the first reduction candidate: a failure that reproduces
+	// without the wire keeps shrinking with Net already gone.
+	cands := candidates(p)
+	if len(cands) == 0 || cands[0].Net {
+		t.Fatal("shrinker does not try dropping Net first")
+	}
+	min := Shrink(p, func(c Plan) bool { return true }, 200)
+	if min.Net {
+		t.Error("shrink kept the Net dimension against an always-failing predicate")
+	}
+}

@@ -1,0 +1,62 @@
+package dst
+
+// Plan.Net: the wire-transport contract. A plan that draws Net replays
+// its committed transcript through the netstream line protocol over an
+// in-memory net.Pipe — encode on one end, Decoder on the other — and
+// demands (a) the decoded item sequence digests identically to the
+// transcript and (b) the plan's query over the decoded items reproduces
+// the synchronous run byte for byte. Encoding is exact (%g float64
+// round-trips, see internal/netstream), so the wire adds framing, never
+// semantics — the same shape of claim the Fanout dimension makes for
+// the in-process ring.
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/netstream"
+	"repro/internal/stream"
+)
+
+// replayNetstream pushes items through an encoder → net.Pipe → Decoder
+// round trip and returns the decoded sequence.
+func replayNetstream(items []stream.Item) ([]stream.Item, error) {
+	client, server := net.Pipe()
+	writeErr := make(chan error, 1)
+	go func() {
+		defer client.Close()
+		buf := netstream.AppendHello(nil, "dst", "")
+		for _, it := range items {
+			buf = netstream.AppendItem(buf, it)
+			if len(buf) >= 32<<10 {
+				if _, err := client.Write(buf); err != nil {
+					writeErr <- err
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := client.Write(buf); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+
+	d := netstream.NewDecoder(server)
+	if err := d.Hello(); err != nil {
+		server.Close()
+		return nil, fmt.Errorf("dst: netstream hello: %w", err)
+	}
+	decoded, err := d.ReadAll()
+	server.Close()
+	if err != nil {
+		return nil, fmt.Errorf("dst: netstream decode: %w", err)
+	}
+	if werr := <-writeErr; werr != nil {
+		return nil, fmt.Errorf("dst: netstream write: %w", werr)
+	}
+	return decoded, nil
+}

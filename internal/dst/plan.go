@@ -66,6 +66,12 @@ type Plan struct {
 	// byte. Subscriptions are Block — the lossless policy — because DST
 	// plans never shed (see Chaos above).
 	Fanout int `json:"fanout,omitempty"`
+
+	// Net, when set, adds the wire-transport contract: the transcript is
+	// replayed through the netstream line protocol over an in-memory
+	// net.Pipe and the decoded sequence must digest — and aggregate —
+	// identically to the direct feed (see net.go).
+	Net bool `json:"net,omitempty"`
 }
 
 // DelayPlan selects a delay model by name so plans stay serializable.
@@ -247,9 +253,9 @@ func (p Plan) String() string {
 	} else if h == "kslack" {
 		h = fmt.Sprintf("kslack(%d)", p.Handler.K)
 	}
-	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d core=%s h=%s batch=%d shards=%d fanout=%d chaos=%+v}",
+	return fmt.Sprintf("plan{seed=%d n=%d keys=%d delay=%s/%g hb=%d win=%d/%d agg=%s refine=%d core=%s h=%s batch=%d shards=%d fanout=%d net=%t chaos=%+v}",
 		p.Seed, p.N, p.NumKeys, p.Delay.Kind, p.Delay.Mean, p.Heartbeat,
-		p.Window, p.Slide, p.Agg, p.Refine, p.core(), h, p.Batch, p.Shards, p.Fanout, p.Chaos)
+		p.Window, p.Slide, p.Agg, p.Refine, p.core(), h, p.Batch, p.Shards, p.Fanout, p.Net, p.Chaos)
 }
 
 // PlanForSeed derives one point of the sweep matrix from a seed. Every
@@ -343,5 +349,10 @@ func PlanForSeed(seed uint64) Plan {
 	case 3:
 		p.Fanout = 8
 	}
+
+	// Net is drawn LAST (after Fanout) so committed transcripts from
+	// every earlier sweep replay unchanged; roughly a third of the seeds
+	// push their transcript through the wire protocol.
+	p.Net = rng.Float64() < 0.35
 	return p
 }

@@ -216,6 +216,29 @@ func Execute(p Plan) (*Outcome, error) {
 		}
 	}
 
+	// Contract 1d: the wire protocol is transparent — the transcript
+	// replayed through netstream framing over a net.Pipe decodes to the
+	// byte-identical item sequence, and the plan's query over the decoded
+	// stream reproduces the synchronous run exactly.
+	if p.Net {
+		decoded, err := replayNetstream(items)
+		if err != nil {
+			return nil, err
+		}
+		if got := DigestItems(decoded); got != o.ItemsDigest {
+			o.fail("net: decoded transcript digest %s != %s (%d vs %d items)",
+				got, o.ItemsDigest, len(decoded), len(items))
+		} else {
+			netSync, err := p.runSync(decoded, p.handler(), nil)
+			if err != nil {
+				return nil, fmt.Errorf("dst: net replay run: %w", err)
+			}
+			if err := oracle.SameOutput(sync, netSync); err != nil {
+				o.fail("net: %v", err)
+			}
+		}
+	}
+
 	// Contract 2: realized quality within θ (adaptive ungrouped plans; the
 	// controller's shadow computation is not per-key, so grouped AQ plans
 	// are swept for equivalence only).

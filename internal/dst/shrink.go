@@ -47,6 +47,12 @@ func candidates(p Plan) []Plan {
 		out = append(out, c)
 	}
 
+	// The wire dimension goes first: if the failure reproduces without
+	// the netstream round trip, the transport was never the cause and
+	// every later reduction runs without it.
+	if p.Net {
+		try(func(c *Plan) { c.Net = false })
+	}
 	if p.N > 400 {
 		try(func(c *Plan) { c.N /= 2 })
 		try(func(c *Plan) { c.N = c.N * 3 / 4 })

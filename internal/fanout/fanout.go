@@ -213,6 +213,50 @@ func (b *Broadcast) Subscribe(name string, p Policy) *Sub {
 	return s
 }
 
+// SubscribeLate registers a consumer at the ring's current frontier: it
+// sees only batches published after the call, with a zero shed baseline
+// (the prefix it never saw is not counted as lost). This is the attach
+// point for queries registered at runtime — the byte-equivalence
+// contract Subscribe protects cannot hold for a consumer that asked to
+// join mid-stream, so it is deliberately not offered. Safe to call
+// concurrently with the producer; on an already-closed ring the
+// subscriber observes an immediate clean end (or the producer's
+// terminal error).
+func (b *Broadcast) SubscribeLate(name string, p Policy) *Sub {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &Sub{b: b, name: name, policy: p}
+	// Pin the frontier batch to seed the shed baseline. pubSeq and the
+	// slot are published by separate atomics, so the slot may already
+	// hold a later lap of the ring; retry at the fresh frontier.
+	var seq int64
+	var last *batch
+	for {
+		seq = b.pubSeq.Load()
+		if seq == 0 {
+			break
+		}
+		if bt := b.slots[(seq-1)&b.mask].Load(); bt != nil && bt.seq == seq-1 {
+			last = bt
+			break
+		}
+	}
+	if last != nil {
+		s.lastCum = last.cum
+		if last.eos {
+			// The stream already ended: point the consumer back at the
+			// marker so it sees the clean end (or terminal error) instead
+			// of parking on a slot that will never be published.
+			seq--
+		}
+	}
+	s.acq = seq
+	s.cursor.Store(seq)
+	s.consumedFloor.Store(s.lastCum)
+	b.subs = append(b.subs, s)
+	return s
+}
+
 // Get returns a pooled item slice (length 0) for the producer to fill
 // before Publish. Publishing hands ownership to the ring; the slice
 // comes back to the pool once every live consumer has released it.

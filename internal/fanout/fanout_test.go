@@ -269,6 +269,71 @@ func TestSubscribeAfterPublishPanics(t *testing.T) {
 	b.Subscribe("late", Block)
 }
 
+func TestSubscribeLateJoinsAtFrontier(t *testing.T) {
+	b := New(Options{Ring: 8})
+	// Publish a prefix the late subscriber must never see or be charged
+	// for.
+	for i := 0; i < 5; i++ {
+		if err := b.Publish(context.Background(), mkItems(i*10, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.SubscribeLate("runtime-q", ShedOldest)
+	if got := s.Shed(); got != 0 {
+		t.Fatalf("late sub shed baseline = %d, want 0", got)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("late sub pending = %d, want 0", got)
+	}
+	errc := make(chan error, 1)
+	valsc := make(chan []float64, 1)
+	go func() {
+		vals, err := drain(context.Background(), s)
+		valsc <- vals
+		errc <- err
+	}()
+	if err := b.Publish(context.Background(), mkItems(50, 10)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	vals, err := <-valsc, <-errc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 10 || vals[0] != 50 || vals[9] != 59 {
+		t.Fatalf("late sub saw %v, want exactly the post-subscribe batch 50..59", vals)
+	}
+	if s.Shed() != 0 {
+		t.Fatalf("late sub shed = %d after drain, want 0 (prefix is not a loss)", s.Shed())
+	}
+}
+
+func TestSubscribeLateOnClosedRing(t *testing.T) {
+	b := New(Options{Ring: 8})
+	if err := b.Publish(context.Background(), mkItems(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	s := b.SubscribeLate("after-eos", ShedOldest)
+	vals, err := drain(context.Background(), s)
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("late sub on closed ring: vals=%v err=%v, want clean empty end", vals, err)
+	}
+	if s.Shed() != 0 {
+		t.Fatalf("shed = %d, want 0", s.Shed())
+	}
+}
+
+func TestSubscribeLateOnFailedRing(t *testing.T) {
+	b := New(Options{Ring: 8})
+	boom := errors.New("upstream died")
+	b.Fail(boom)
+	s := b.SubscribeLate("after-fail", Block)
+	if _, err := drain(context.Background(), s); !errors.Is(err, boom) {
+		t.Fatalf("late sub on failed ring: err=%v, want %v", err, boom)
+	}
+}
+
 func TestPumpDrivesRingFromSource(t *testing.T) {
 	const total = 1000
 	items := mkItems(0, total)

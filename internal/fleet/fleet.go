@@ -1,0 +1,388 @@
+// Package fleet is the runtime control plane's bookkeeping core: a
+// registry of named ingest sources and the continuous queries attached
+// to them. It is the glue between the network edge (internal/netstream
+// delivers decoded item batches here) and the fan-out substrate
+// (internal/fanout broadcasts each source's stream to its queries):
+//
+//   - Every named source owns one broadcast ring. TCP connections for
+//     that source all publish into the same ring, serialized by the
+//     source (the ring is single-producer), so N queries over one
+//     source pay one ingest path — the PR 8 fan-out economics extended
+//     to network ingest.
+//   - Queries attach to a source at runtime via fanout.SubscribeLate:
+//     they see the stream from the moment of attachment with a zero
+//     shed baseline, and always under the ShedOldest policy — a
+//     runtime query must never backpressure the shared ingest path of
+//     its neighbours (quality degrades before the fleet stalls, the
+//     paper's central trade made multi-tenant).
+//   - Per-tenant quotas bound the blast radius of any one tenant: a
+//     cap on registered queries (admission control, HTTP 429) and a
+//     token-bucket cap on ingest rate (over-rate data tuples are shed
+//     at the door and charged to the source's RateShed counter, which
+//     the engine folds into AggReport.Shed exactly like ring laps).
+//
+// The registry implements netstream.Sink, so a netstream.Listener can
+// feed it directly, and the cql.SourceCatalog interface, so statement
+// binding can reject queries over unknown sources before any runner
+// spins up.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fanout"
+	"repro/internal/resilience"
+	"repro/internal/stream"
+)
+
+// Quotas bounds what one tenant may consume. Zero values mean
+// unlimited.
+type Quotas struct {
+	// MaxQueriesPerTenant caps concurrently registered queries per
+	// tenant.
+	MaxQueriesPerTenant int
+	// MaxIngestPerSec caps data tuples per second per source (token
+	// bucket, burst of one second). Heartbeats always pass — progress
+	// signals must survive overload or watermarks stall and quality
+	// collapses for reasons the quality model cannot see.
+	MaxIngestPerSec int
+}
+
+// Options configures a Registry.
+type Options struct {
+	Quotas Quotas
+	// Ring is the per-source broadcast ring size in batches (<= 0
+	// picks 256).
+	Ring int
+	// Clock drives the rate limiter; nil means WallClock. The
+	// deterministic tests inject a fake.
+	Clock resilience.Clock
+}
+
+// Registry tracks sources and queries. Safe for concurrent use.
+type Registry struct {
+	opts Options
+
+	mu      sync.Mutex
+	sources map[string]*Source
+	queries map[string]*Query
+	byTen   map[string]int // live query count per tenant
+	closed  bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(opts Options) *Registry {
+	if opts.Ring <= 0 {
+		opts.Ring = 256
+	}
+	if opts.Clock == nil {
+		opts.Clock = resilience.WallClock{}
+	}
+	return &Registry{
+		opts:    opts,
+		sources: make(map[string]*Source),
+		queries: make(map[string]*Query),
+		byTen:   make(map[string]int),
+	}
+}
+
+// Source returns the named source, creating it on first use.
+func (r *Registry) Source(name string) *Source {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sourceLocked(name)
+}
+
+func (r *Registry) sourceLocked(name string) *Source {
+	s, ok := r.sources[name]
+	if !ok {
+		s = &Source{
+			name:  name,
+			ring:  fanout.New(fanout.Options{Ring: r.opts.Ring}),
+			rate:  r.opts.Quotas.MaxIngestPerSec,
+			clock: r.opts.Clock,
+		}
+		s.lastRefill = r.opts.Clock.Now()
+		s.tokens = float64(s.rate) // full bucket: one second of burst
+		r.sources[name] = s
+	}
+	return s
+}
+
+// HasSource implements cql.SourceCatalog: query binding consults it to
+// reject statements over sources nothing has registered or fed.
+func (r *Registry) HasSource(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sources[name]
+	return ok
+}
+
+// SourceNames lists registered sources, sorted.
+func (r *Registry) SourceNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish implements netstream.Sink: decoded batches from the TCP
+// listener land on the named source's ring. The items slice is the
+// listener's reusable batch buffer, so the source copies before
+// publishing.
+func (r *Registry) Publish(source, tenant string, items []stream.Item) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("fleet: registry closed")
+	}
+	s := r.sourceLocked(source)
+	r.mu.Unlock()
+	return s.Publish(items)
+}
+
+// Query is one registered runtime query's control-plane entry. The
+// engine half (runner goroutine, metrics, durability) lives in
+// cmd/aqserver; the registry only tracks identity and the stop hook.
+type Query struct {
+	Name      string
+	Tenant    string
+	Statement string
+	// Stop tears the runner down (cancel pump, finish, unsubscribe).
+	// Called exactly once, by Registry.RemoveQuery or Registry.Close.
+	Stop func()
+}
+
+// AddQuery admits a query under the per-tenant quota. It returns
+// ErrQuotaExceeded when the tenant is at its cap and ErrDuplicate when
+// the name is taken.
+func (r *Registry) AddQuery(q *Query) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("fleet: registry closed")
+	}
+	if _, ok := r.queries[q.Name]; ok {
+		return &DuplicateError{Name: q.Name}
+	}
+	if max := r.opts.Quotas.MaxQueriesPerTenant; max > 0 && r.byTen[q.Tenant] >= max {
+		return &QuotaError{Tenant: q.Tenant, Limit: max}
+	}
+	r.queries[q.Name] = q
+	r.byTen[q.Tenant]++
+	return nil
+}
+
+// Admissible reports whether AddQuery for (name, tenant) would pass the
+// duplicate and quota checks right now, without reserving anything. It
+// lets callers skip building expensive per-query state (durable-log
+// recovery, ring attachment) for registrations that would be rejected;
+// AddQuery remains the authoritative check under races.
+func (r *Registry) Admissible(name, tenant string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("fleet: registry closed")
+	}
+	if _, ok := r.queries[name]; ok {
+		return &DuplicateError{Name: name}
+	}
+	if max := r.opts.Quotas.MaxQueriesPerTenant; max > 0 && r.byTen[tenant] >= max {
+		return &QuotaError{Tenant: tenant, Limit: max}
+	}
+	return nil
+}
+
+// Query returns the named query entry, or nil.
+func (r *Registry) Query(name string) *Query {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queries[name]
+}
+
+// QueryNames lists registered queries, sorted.
+func (r *Registry) QueryNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.queries))
+	for n := range r.queries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveQuery stops and deregisters the named query. It reports
+// whether the query existed.
+func (r *Registry) RemoveQuery(name string) bool {
+	r.mu.Lock()
+	q, ok := r.queries[name]
+	if ok {
+		delete(r.queries, name)
+		if r.byTen[q.Tenant]--; r.byTen[q.Tenant] == 0 {
+			delete(r.byTen, q.Tenant)
+		}
+	}
+	r.mu.Unlock()
+	if ok && q.Stop != nil {
+		q.Stop()
+	}
+	return ok
+}
+
+// Close stops every query and closes every source ring (consumers see
+// a clean end of stream). The registry rejects publishes and
+// admissions afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	qs := make([]*Query, 0, len(r.queries))
+	for _, q := range r.queries {
+		qs = append(qs, q)
+	}
+	r.queries = make(map[string]*Query)
+	r.byTen = make(map[string]int)
+	srcs := make([]*Source, 0, len(r.sources))
+	for _, s := range r.sources {
+		srcs = append(srcs, s)
+	}
+	r.mu.Unlock()
+	for _, s := range srcs {
+		s.close()
+	}
+	for _, q := range qs {
+		if q.Stop != nil {
+			q.Stop()
+		}
+	}
+}
+
+// QuotaError reports a tenant at its query cap (HTTP 429 upstairs).
+type QuotaError struct {
+	Tenant string
+	Limit  int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("fleet: tenant %q at query quota (%d)", e.Tenant, e.Limit)
+}
+
+// DuplicateError reports a query name collision (HTTP 409 upstairs).
+type DuplicateError struct{ Name string }
+
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("fleet: query %q already registered", e.Name)
+}
+
+// Source is one named ingest stream: a broadcast ring fed by any
+// number of network connections (serialized here — the ring is
+// single-producer) and consumed by any number of runtime queries.
+type Source struct {
+	name  string
+	ring  *fanout.Broadcast
+	clock resilience.Clock
+
+	// pubMu serializes publishes from concurrent connections and the
+	// token bucket they refill.
+	pubMu      sync.Mutex
+	rate       int     // data tuples/sec; 0 = unlimited
+	tokens     float64 // current bucket level
+	lastRefill time.Time
+	closed     bool
+
+	tuples   atomic.Int64 // data tuples admitted to the ring
+	rateShed atomic.Int64 // data tuples dropped by the rate limiter
+}
+
+// Name returns the source's registered name.
+func (s *Source) Name() string { return s.name }
+
+// Tuples reports data tuples admitted to the ring.
+func (s *Source) Tuples() int64 { return s.tuples.Load() }
+
+// RateShed reports data tuples dropped by the per-source rate limiter.
+// The runtime queries fold it into their shed totals: quota sheds are
+// quality loss exactly like ring laps and overload drops.
+func (s *Source) RateShed() int64 { return s.rateShed.Load() }
+
+// Attach subscribes a runtime query to the source at the current
+// frontier under ShedOldest (see the package comment for why runtime
+// queries never get Block).
+func (s *Source) Attach(query string) *fanout.Sub {
+	return s.ring.SubscribeLate(query, fanout.ShedOldest)
+}
+
+// Publish admits one batch: the rate limiter sheds over-rate data
+// tuples (heartbeats always pass), the remainder is copied into a
+// ring-pooled slice and published. The input slice is never retained.
+func (s *Source) Publish(items []stream.Item) error {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if s.closed {
+		return fanout.ErrClosed
+	}
+	admitted := s.ring.Get()
+	var shed, data int64
+	if s.rate > 0 {
+		now := s.clock.Now()
+		s.tokens += now.Sub(s.lastRefill).Seconds() * float64(s.rate)
+		if cap := float64(s.rate); s.tokens > cap {
+			s.tokens = cap
+		}
+		s.lastRefill = now
+		for _, it := range items {
+			if !it.Heartbeat {
+				if s.tokens < 1 {
+					shed++
+					continue
+				}
+				s.tokens--
+				data++
+			}
+			admitted = append(admitted, it)
+		}
+	} else {
+		admitted = append(admitted, items...)
+		for _, it := range items {
+			if !it.Heartbeat {
+				data++
+			}
+		}
+	}
+	if shed > 0 {
+		s.rateShed.Add(shed)
+	}
+	if len(admitted) == 0 {
+		return nil
+	}
+	if err := s.ring.Publish(context.Background(), admitted); err != nil {
+		return err
+	}
+	s.tuples.Add(data)
+	return nil
+}
+
+// close publishes the end-of-stream marker so every attached query
+// drains and finishes cleanly.
+func (s *Source) close() {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.ring.Close()
+}

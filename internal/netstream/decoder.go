@@ -1,0 +1,143 @@
+package netstream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/stream"
+)
+
+// Decoder turns a byte stream of protocol lines back into stream items.
+// It is strict: a malformed line is an error, not a skip — silently
+// dropping frames would corrupt the byte-equivalence contract the DST
+// wire-replay dimension (and the integration oracle) enforce.
+type Decoder struct {
+	r      *bufio.Reader
+	source string
+	tenant string
+	hello  bool
+	frames int64
+}
+
+// NewDecoder wraps r. The internal buffer is sized for MaxLine, so
+// over-long lines surface as protocol errors instead of silent splits.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, MaxLine+2)}
+}
+
+// Source returns the stream name announced by the hello frame ("" before
+// Hello succeeded).
+func (d *Decoder) Source() string { return d.source }
+
+// Tenant returns the tenant announced by the hello frame (may be "").
+func (d *Decoder) Tenant() string { return d.tenant }
+
+// Frames returns how many non-empty frames were decoded.
+func (d *Decoder) Frames() int64 { return d.frames }
+
+// readLine returns the next line without its newline. io.EOF means a
+// clean end (no partial line pending).
+func (d *Decoder) readLine() ([]byte, error) {
+	line, err := d.r.ReadSlice('\n')
+	if errors.Is(err, bufio.ErrBufferFull) {
+		return nil, fmt.Errorf("netstream: line exceeds %d bytes", MaxLine)
+	}
+	if err != nil {
+		if errors.Is(err, io.EOF) && len(line) > 0 {
+			// Final line without a trailing newline: still a frame.
+			return line, nil
+		}
+		return nil, err
+	}
+	return line[:len(line)-1], nil
+}
+
+// Hello consumes frames until the connection preamble arrives and records
+// the announced source and tenant. A data or heartbeat frame before the
+// hello is a protocol error.
+func (d *Decoder) Hello() error {
+	if d.hello {
+		return nil
+	}
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("netstream: connection ended before hello")
+			}
+			return err
+		}
+		f, err := ParseLine(line)
+		if err != nil {
+			return err
+		}
+		switch f.Kind {
+		case FrameNone:
+			continue
+		case FrameHello:
+			d.source, d.tenant, d.hello = f.Source, f.Tenant, true
+			d.frames++
+			return nil
+		default:
+			return fmt.Errorf("netstream: frame before hello")
+		}
+	}
+}
+
+// Next returns the next decoded item. ok=false means the stream ended
+// cleanly. A repeated hello frame mid-stream is a protocol error.
+func (d *Decoder) Next() (stream.Item, bool, error) {
+	if !d.hello {
+		if err := d.Hello(); err != nil {
+			return stream.Item{}, false, err
+		}
+	}
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return stream.Item{}, false, nil
+			}
+			return stream.Item{}, false, err
+		}
+		f, err := ParseLine(line)
+		if err != nil {
+			return stream.Item{}, false, err
+		}
+		switch f.Kind {
+		case FrameNone:
+			continue
+		case FrameHello:
+			return stream.Item{}, false, fmt.Errorf("netstream: duplicate hello mid-stream")
+		default:
+			d.frames++
+			return f.Item, true, nil
+		}
+	}
+}
+
+// Buffered reports whether more input is already sitting in the read
+// buffer — the listener uses it to batch everything that arrived in one
+// TCP segment into one publish without stalling on a partial batch.
+func (d *Decoder) Buffered() bool { return d.r.Buffered() > 0 }
+
+// ReadAll drains the decoder into a slice: hello, then every item until
+// clean EOF. It is the DST wire-replay entry point.
+func (d *Decoder) ReadAll() ([]stream.Item, error) {
+	if err := d.Hello(); err != nil {
+		return nil, err
+	}
+	var items []stream.Item
+	for {
+		it, ok, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return items, nil
+		}
+		items = append(items, it)
+	}
+}

@@ -1,0 +1,79 @@
+package netstream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestDecoderReadAll(t *testing.T) {
+	items := []stream.Item{
+		stream.DataItem(stream.Tuple{TS: 1, Arrival: 2, Seq: 0, Value: 10}),
+		stream.HeartbeatItem(5),
+		stream.DataItem(stream.Tuple{TS: 3, Arrival: 4, Seq: 1, Key: 2, Value: -1.5}),
+	}
+	buf := AppendHello(nil, "s1", "t1")
+	buf = append(buf, "# interleaved comment\n\n"...)
+	for _, it := range items {
+		buf = AppendItem(buf, it)
+	}
+	d := NewDecoder(strings.NewReader(string(buf)))
+	got, err := d.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Source() != "s1" || d.Tenant() != "t1" {
+		t.Fatalf("hello: source=%q tenant=%q", d.Source(), d.Tenant())
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d: got %+v want %+v", i, got[i], items[i])
+		}
+	}
+	if d.Frames() != int64(len(items))+1 {
+		t.Fatalf("frames = %d, want %d", d.Frames(), len(items)+1)
+	}
+}
+
+func TestDecoderRequiresHelloFirst(t *testing.T) {
+	d := NewDecoder(strings.NewReader("D 1 2 3 4 5 6\n"))
+	if _, _, err := d.Next(); err == nil {
+		t.Fatal("want error for data frame before hello")
+	}
+}
+
+func TestDecoderRejectsDuplicateHello(t *testing.T) {
+	d := NewDecoder(strings.NewReader("S a\nS b\n"))
+	if _, _, err := d.Next(); err == nil {
+		t.Fatal("want error for duplicate hello")
+	}
+}
+
+func TestDecoderCleanEOFBeforeHello(t *testing.T) {
+	d := NewDecoder(strings.NewReader("# only comments\n"))
+	if err := d.Hello(); err == nil {
+		t.Fatal("want error for EOF before hello")
+	}
+}
+
+func TestDecoderFinalLineWithoutNewline(t *testing.T) {
+	d := NewDecoder(strings.NewReader("S a\nH 7"))
+	got, err := d.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Watermark != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecoderOverlongLine(t *testing.T) {
+	d := NewDecoder(strings.NewReader("S a\nD " + strings.Repeat("9", 2*MaxLine) + "\n"))
+	if _, err := d.ReadAll(); err == nil {
+		t.Fatal("want error for over-long line")
+	}
+}

@@ -1,0 +1,179 @@
+package netstream
+
+import (
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Sink receives decoded item batches, routed by the source name the
+// connection announced. The fleet registry implements it: each named
+// source owns a broadcast ring and a tenant rate quota.
+type Sink interface {
+	// Publish delivers one in-order batch from a connection feeding the
+	// named source. The slice is reused after Publish returns, so
+	// implementations must copy what they keep. A returned error
+	// terminates the connection (the client's retry policy decides
+	// whether to reconnect).
+	Publish(source, tenant string, items []stream.Item) error
+}
+
+// connBatch bounds how many decoded items one Publish carries.
+const connBatch = 256
+
+// Listener accepts TCP line-protocol connections and feeds decoded items
+// into the sink. Each connection announces its source with a hello frame;
+// many connections may feed the same source (sequentially — e.g. a
+// reconnecting client — or concurrently; the sink serializes). A decode
+// error closes the offending connection and touches nothing else.
+type Listener struct {
+	l    net.Listener
+	sink Sink
+	log  *slog.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	accepted atomic.Int64
+	rejected atomic.Int64 // connections dropped on protocol/sink errors
+}
+
+// Listen binds addr (e.g. ":9070", "127.0.0.1:0") and starts accepting.
+// A nil logger defaults to slog.Default.
+func Listen(addr string, sink Sink, log *slog.Logger) (*Listener, error) {
+	if log == nil {
+		log = slog.Default()
+	}
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &Listener{l: nl, sink: sink, log: log, conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Accepted returns how many connections were accepted.
+func (l *Listener) Accepted() int64 { return l.accepted.Load() }
+
+// Rejected returns how many connections ended on a protocol or sink
+// error (clean client disconnects are not counted).
+func (l *Listener) Rejected() int64 { return l.rejected.Load() }
+
+// Close stops accepting, closes every live connection and waits for the
+// connection handlers to drain. Idempotent.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.wg.Wait()
+		return nil
+	}
+	l.closed = true
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	err := l.l.Close()
+	l.wg.Wait()
+	return err
+}
+
+// track registers a live connection; returns false when the listener is
+// already closing (the caller must drop the conn).
+func (l *Listener) track(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.conns[c] = struct{}{}
+	return true
+}
+
+func (l *Listener) untrack(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !l.track(c) {
+			c.Close()
+			return
+		}
+		l.accepted.Add(1)
+		l.wg.Add(1)
+		go l.serve(c)
+	}
+}
+
+// serve drains one connection: hello, then decoded items batched into
+// sink publishes. Batches flush when full or when the read buffer runs
+// dry, so one TCP segment's worth of frames becomes one publish and a
+// trickling client still sees per-frame latency.
+func (l *Listener) serve(c net.Conn) {
+	defer l.wg.Done()
+	defer l.untrack(c)
+	defer c.Close()
+	d := NewDecoder(c)
+	if err := d.Hello(); err != nil {
+		l.rejected.Add(1)
+		if !errors.Is(err, net.ErrClosed) {
+			l.log.Warn("netstream: rejecting connection", "remote", c.RemoteAddr().String(), "err", err)
+		}
+		return
+	}
+	source, tenant := d.Source(), d.Tenant()
+	batch := make([]stream.Item, 0, connBatch)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if err := l.sink.Publish(source, tenant, batch); err != nil {
+			l.rejected.Add(1)
+			l.log.Warn("netstream: sink rejected batch; closing connection",
+				"source", source, "remote", c.RemoteAddr().String(), "err", err)
+			return false
+		}
+		batch = batch[:0]
+		return true
+	}
+	for {
+		it, ok, err := d.Next()
+		if err != nil {
+			l.rejected.Add(1)
+			if !errors.Is(err, net.ErrClosed) {
+				l.log.Warn("netstream: closing connection", "source", source, "remote", c.RemoteAddr().String(), "err", err)
+			}
+			flush()
+			return
+		}
+		if !ok {
+			flush()
+			return
+		}
+		batch = append(batch, it)
+		if len(batch) >= connBatch || !d.Buffered() {
+			if !flush() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package netstream is the wire layer of the network control plane: a
+// newline-framed line protocol that carries stream items over TCP, a
+// decoder that turns a connection back into stream.Items, a listener
+// that feeds decoded items into a per-source sink (the fleet registry's
+// broadcast rings), and a reconnecting client built on the resilience
+// retry policy.
+//
+// The protocol is text, one frame per line, fields space-separated:
+//
+//	S <source> [tenant]                      hello: names the stream this
+//	                                         connection feeds; must be the
+//	                                         first frame
+//	D <ts> <arrival> <seq> <key> <src> <value>   one data tuple
+//	H <watermark>                            heartbeat / watermark
+//	# ...                                    comment, ignored
+//
+// Blank lines are ignored. ts/arrival/watermark are stream-time ms
+// (int64), seq and key are uint64, src is uint8, value is a float64
+// formatted with %g at full precision so decoding round-trips the bits.
+// docs/API.md has the full grammar and a walkthrough.
+package netstream
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/stream"
+)
+
+// FrameKind discriminates decoded frames.
+type FrameKind int
+
+const (
+	// FrameNone is a blank or comment line.
+	FrameNone FrameKind = iota
+	// FrameHello is the connection preamble naming source (and tenant).
+	FrameHello
+	// FrameData carries one data tuple in Item.
+	FrameData
+	// FrameHeartbeat carries a watermark in Item.
+	FrameHeartbeat
+)
+
+// Frame is one decoded protocol line.
+type Frame struct {
+	Kind   FrameKind
+	Item   stream.Item // FrameData / FrameHeartbeat
+	Source string      // FrameHello
+	Tenant string      // FrameHello, optional
+}
+
+// MaxLine bounds one protocol line; longer lines are a protocol error
+// (they cannot be produced by the encoder).
+const MaxLine = 4096
+
+// MaxNameLen bounds source and tenant names on the wire.
+const MaxNameLen = 64
+
+// ValidName reports whether s is usable as a source or tenant name:
+// non-empty, at most MaxNameLen bytes, ASCII letters, digits, '_', '-',
+// '.' only. The alphabet keeps names safe as metric label values, path
+// components (durable dirs) and URL segments.
+func ValidName(s string) bool {
+	if len(s) == 0 || len(s) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_' || c == '-' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AppendHello appends a hello frame (newline included). tenant may be
+// empty.
+func AppendHello(dst []byte, source, tenant string) []byte {
+	dst = append(dst, 'S', ' ')
+	dst = append(dst, source...)
+	if tenant != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, tenant...)
+	}
+	return append(dst, '\n')
+}
+
+// AppendItem appends one item frame (newline included).
+func AppendItem(dst []byte, it stream.Item) []byte {
+	if it.Heartbeat {
+		dst = append(dst, 'H', ' ')
+		dst = strconv.AppendInt(dst, int64(it.Watermark), 10)
+		return append(dst, '\n')
+	}
+	t := it.Tuple
+	dst = append(dst, 'D', ' ')
+	dst = strconv.AppendInt(dst, int64(t.TS), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(t.Arrival), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, t.Seq, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, t.Key, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(t.Src), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendFloat(dst, t.Value, 'g', -1, 64)
+	return append(dst, '\n')
+}
+
+// fields splits line on single spaces into at most max fields, without
+// allocating a slice header per call site surprise: it reuses the given
+// scratch. Empty fields (double spaces) are a protocol error, signalled
+// by returning ok=false.
+func fields(line []byte, scratch [][]byte) ([][]byte, bool) {
+	out := scratch[:0]
+	start := 0
+	for i := 0; i <= len(line); i++ {
+		if i == len(line) || line[i] == ' ' {
+			if i == start {
+				return nil, false // empty field: leading/trailing/double space
+			}
+			out = append(out, line[start:i])
+			start = i + 1
+		}
+	}
+	return out, true
+}
+
+// ParseLine decodes one protocol line (without its trailing newline; a
+// trailing '\r' is tolerated for telnet-style clients). It never panics,
+// whatever the input.
+func ParseLine(line []byte) (Frame, error) {
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if len(line) > MaxLine {
+		return Frame{}, fmt.Errorf("netstream: line exceeds %d bytes", MaxLine)
+	}
+	if len(line) == 0 || line[0] == '#' {
+		return Frame{Kind: FrameNone}, nil
+	}
+	var scratch [8][]byte
+	fs, ok := fields(line, scratch[:])
+	if !ok {
+		return Frame{}, fmt.Errorf("netstream: malformed frame %q: empty field", line)
+	}
+	switch string(fs[0]) {
+	case "S":
+		if len(fs) != 2 && len(fs) != 3 {
+			return Frame{}, fmt.Errorf("netstream: hello wants 'S <source> [tenant]', got %d fields", len(fs))
+		}
+		f := Frame{Kind: FrameHello, Source: string(fs[1])}
+		if !ValidName(f.Source) {
+			return Frame{}, fmt.Errorf("netstream: bad source name %q", f.Source)
+		}
+		if len(fs) == 3 {
+			f.Tenant = string(fs[2])
+			if !ValidName(f.Tenant) {
+				return Frame{}, fmt.Errorf("netstream: bad tenant name %q", f.Tenant)
+			}
+		}
+		return f, nil
+	case "H":
+		if len(fs) != 2 {
+			return Frame{}, fmt.Errorf("netstream: heartbeat wants 'H <watermark>', got %d fields", len(fs))
+		}
+		w, err := strconv.ParseInt(string(fs[1]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad watermark %q", fs[1])
+		}
+		return Frame{Kind: FrameHeartbeat, Item: stream.HeartbeatItem(stream.Time(w))}, nil
+	case "D":
+		if len(fs) != 7 {
+			return Frame{}, fmt.Errorf("netstream: data wants 'D <ts> <arrival> <seq> <key> <src> <value>', got %d fields", len(fs))
+		}
+		ts, err := strconv.ParseInt(string(fs[1]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad ts %q", fs[1])
+		}
+		ar, err := strconv.ParseInt(string(fs[2]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad arrival %q", fs[2])
+		}
+		seq, err := strconv.ParseUint(string(fs[3]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad seq %q", fs[3])
+		}
+		key, err := strconv.ParseUint(string(fs[4]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad key %q", fs[4])
+		}
+		src, err := strconv.ParseUint(string(fs[5]), 10, 8)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad src %q", fs[5])
+		}
+		val, err := strconv.ParseFloat(string(fs[6]), 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad value %q", fs[6])
+		}
+		return Frame{Kind: FrameData, Item: stream.DataItem(stream.Tuple{
+			TS: stream.Time(ts), Arrival: stream.Time(ar), Seq: seq,
+			Key: key, Src: uint8(src), Value: val,
+		})}, nil
+	default:
+		return Frame{}, fmt.Errorf("netstream: unknown frame type %q", fs[0])
+	}
+}

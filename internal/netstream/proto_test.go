@@ -1,0 +1,108 @@
+package netstream
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestAppendParseRoundTrip(t *testing.T) {
+	items := []stream.Item{
+		stream.DataItem(stream.Tuple{TS: 10, Arrival: 25, Seq: 0, Key: 0, Value: 1}),
+		stream.DataItem(stream.Tuple{TS: -5, Arrival: 3, Seq: 18446744073709551615, Key: 7, Src: 255, Value: -123.456}),
+		stream.DataItem(stream.Tuple{TS: 1 << 50, Arrival: 1<<50 + 3, Seq: 42, Key: 9999, Src: 1, Value: math.MaxFloat64}),
+		stream.DataItem(stream.Tuple{TS: 0, Arrival: 0, Seq: 1, Value: 0.1}),
+		stream.HeartbeatItem(123456),
+		stream.HeartbeatItem(-1),
+	}
+	for _, it := range items {
+		line := AppendItem(nil, it)
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("frame not newline-terminated: %q", line)
+		}
+		f, err := ParseLine(line[:len(line)-1])
+		if err != nil {
+			t.Fatalf("ParseLine(%q): %v", line, err)
+		}
+		if f.Item != it {
+			t.Fatalf("round trip mismatch: sent %+v got %+v", it, f.Item)
+		}
+		if it.Heartbeat && f.Kind != FrameHeartbeat || !it.Heartbeat && f.Kind != FrameData {
+			t.Fatalf("wrong kind %v for %+v", f.Kind, it)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	line := AppendHello(nil, "sensors.west", "acme-corp")
+	f, err := ParseLine(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameHello || f.Source != "sensors.west" || f.Tenant != "acme-corp" {
+		t.Fatalf("hello mismatch: %+v", f)
+	}
+	f, err = ParseLine(bytes.TrimSuffix(AppendHello(nil, "s1", ""), []byte("\n")))
+	if err != nil || f.Tenant != "" || f.Source != "s1" {
+		t.Fatalf("tenantless hello mismatch: %+v err=%v", f, err)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"D 1 2 3",                 // too few fields
+		"D 1 2 3 4 5 6 7",        // too many fields
+		"D x 2 3 4 5 6",          // bad ts
+		"D 1 2 3 4 999 6",        // src out of uint8 range
+		"D 1 2 3 4 5 notafloat",  // bad value
+		"D 1  2 3 4 5 6",         // double space
+		" D 1 2 3 4 5 6",         // leading space
+		"H",                      // missing watermark
+		"H abc",                  // bad watermark
+		"S",                      // missing source
+		"S two words extra",      // too many fields
+		"S bad/name",             // invalid source character
+		"S ok bad/tenant",        // invalid tenant character
+		"X 1 2",                  // unknown frame type
+		"d 1 2 3 4 5 6",          // frame types are case-sensitive
+		"S " + strings.Repeat("a", MaxNameLen+1), // name too long
+		"D " + strings.Repeat("1", MaxLine), // over-long line
+	}
+	for _, in := range bad {
+		if _, err := ParseLine([]byte(in)); err == nil {
+			t.Errorf("ParseLine(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestParseLineIgnoresCommentsAndBlanks(t *testing.T) {
+	for _, in := range []string{"", "# a comment", "#", "\r"} {
+		f, err := ParseLine([]byte(in))
+		if err != nil || f.Kind != FrameNone {
+			t.Errorf("ParseLine(%q) = %+v, %v; want FrameNone", in, f, err)
+		}
+	}
+	// Telnet-style CRLF is tolerated on real frames.
+	f, err := ParseLine([]byte("H 99\r"))
+	if err != nil || f.Kind != FrameHeartbeat || f.Item.Watermark != 99 {
+		t.Fatalf("CRLF heartbeat: %+v, %v", f, err)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	good := []string{"a", "sensor_1", "west.coast-2", strings.Repeat("x", MaxNameLen)}
+	for _, n := range good {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	bad := []string{"", "has space", "semi;colon", "slash/", "tab\tname", "ünïcode", strings.Repeat("x", MaxNameLen+1)}
+	for _, n := range bad {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
