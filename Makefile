@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race fuzz-short fuzz doccheck api-test bench bench-transport bench-trace bench-journal bench-aggcore bench-fanout dst crash cover
+.PHONY: check vet build test race fuzz-short fuzz doccheck api-test bench bench-transport bench-trace bench-journal bench-aggcore bench-fanout bench-history dst crash cover
 
 check: vet build race fuzz-short api-test dst crash doccheck
 
@@ -84,11 +84,11 @@ cover:
 # changes) and no dead relative links in any *.md file.
 doccheck:
 	$(GO) vet ./internal/obs/...
-	$(GO) test . -run '^TestDocLinks$$'
+	$(GO) test . -run '^TestDocLinks$$|^TestMetricsCatalog$$'
 
 # Run every per-PR benchmark gate.
 BENCHTIME ?= 5x
-bench: bench-transport bench-aggcore bench-fanout
+bench: bench-transport bench-aggcore bench-fanout bench-history
 
 # PR3 performance gate: run the transport/sharding benchmarks and commit
 # the parsed numbers. BENCH_PR3.json records ns/op, allocs/op and
@@ -140,6 +140,18 @@ bench-fanout:
 	$(GO) test -bench 'BenchmarkFanout' \
 		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 30m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR8.json
+
+# PR10 performance gate: the observability plane must ride along, not
+# slow down. BenchmarkHistoryOverhead runs the instrumented concurrent
+# pipeline with the background history sampler off and on (at 100x the
+# production sampling rate); BenchmarkWireProvOverhead drains the
+# broadcast ring with and without wire-provenance marks. BENCH_PR10.json
+# records both so the ≤2% combined bar (EXPERIMENTS.md R21) can be
+# re-verified on any host.
+bench-history:
+	$(GO) test -bench 'BenchmarkHistoryOverhead|BenchmarkWireProvOverhead' \
+		-benchmem -run '^$$' -benchtime $(BENCHTIME) -timeout 20m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR10.json
 
 fuzz: FUZZTIME = 60s
 fuzz: fuzz-short

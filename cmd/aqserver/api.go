@@ -262,6 +262,14 @@ func (a *app) registerQuery(req registerRequest) (*queryRunner, error) {
 	// Ring gauges get the same label sets as compiled-in -fanout
 	// replicas (aq_fanout_lag_batches, aq_queue_depth{queue="fanout"}).
 	instrumentFanout(a.srv.reg, q, sub)
+	if a.srv.reg != nil {
+		// True client-send→emission latency, keyed by source: queries on
+		// the same source share the histogram, so it reads as the wire's
+		// property, not any one query's.
+		q.wireLat = a.srv.reg.Histogram("aq_wire_latency_ms",
+			"Client-send to window-emission latency in milliseconds per network source (wire provenance marks).",
+			obs.LatencyBuckets(), obs.L("source", stmt.Source))
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	pumpDone := make(chan struct{})
@@ -345,6 +353,9 @@ func (a *app) buildRuntimeRunner(name, statement string, stmt cql.Query) (*query
 	q.setTracer(tr, wd)
 	if a.srv.reg != nil {
 		q.instrument(a.srv.reg)
+		if wd != nil {
+			registerBurnRate(a.srv.reg, a.srv.history, a.srv.sloBudget, name)
+		}
 	}
 
 	var dlog *durable.QueryLog
@@ -382,7 +393,7 @@ func (a *app) buildRuntimeRunner(name, statement string, stmt cql.Query) (*query
 func pumpRing(ctx context.Context, q *queryRunner, sub *fanout.Sub) {
 	defer q.finish()
 	for {
-		items, seq, ok, err := sub.NextBatch(ctx)
+		items, seq, prov, ok, err := sub.NextBatchProv(ctx)
 		if err != nil {
 			if ctx.Err() == nil {
 				q.setHealth(healthStalled)
@@ -393,6 +404,10 @@ func pumpRing(ctx context.Context, q *queryRunner, sub *fanout.Sub) {
 		if !ok {
 			return
 		}
+		// Wire provenance rides the ring alongside the batch: note it
+		// before feeding so the emissions this batch triggers are charged
+		// against its client send time.
+		q.noteWireBatch(prov, len(items))
 		for _, it := range items {
 			q.feed(it)
 		}

@@ -104,6 +104,14 @@ type appConfig struct {
 	traceDump string       // directory for automatic flight-recorder dumps; empty = off
 	log       *slog.Logger // base structured logger; nil = stderr text handler
 
+	// Metric history behind /api/stats (-stats-step / -stats-retention;
+	// zero picks the obs.History defaults of 1s / 10m) and the SLO
+	// burn-rate budget (-slo-budget; <= 0 disables burn-rate readouts).
+	// All only meaningful with -obs.
+	statsStep      time.Duration
+	statsRetention time.Duration
+	sloBudget      float64
+
 	// durableDir enables crash-consistent durability for non-grouped
 	// queries: each gets a journal+snapshot directory under it and recovers
 	// from prior state at startup. snapshotEvery is the snapshot cadence in
@@ -152,9 +160,14 @@ func newApp(cfg appConfig) (*app, error) {
 	if cfg.obs {
 		a.srv.reg = obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(a.srv.reg)
+		a.srv.history = obs.NewHistory(a.srv.reg, obs.HistoryOptions{
+			Step: cfg.statsStep, Retention: cfg.statsRetention})
+		a.srv.sloBudget = cfg.sloBudget
+		a.srv.history.Start() // drain stops it
 	}
 	if cfg.listen != "" || cfg.apiOn {
-		a.fleet = fleet.NewRegistry(fleet.Options{Quotas: cfg.quotas})
+		a.fleet = fleet.NewRegistry(fleet.Options{Quotas: cfg.quotas, Metrics: a.srv.reg})
+		a.srv.fleetTenants = a.fleet.Tenants
 	}
 	if cfg.apiOn {
 		a.srv.api = a.apiHandler()
@@ -218,6 +231,9 @@ func newApp(cfg appConfig) (*app, error) {
 			q.setTracer(tr, wd)
 			if a.srv.reg != nil {
 				q.instrument(a.srv.reg)
+				if wd != nil {
+					registerBurnRate(a.srv.reg, a.srv.history, a.srv.sloBudget, name)
+				}
 			}
 			if cfg.durableDir != "" {
 				switch {
@@ -290,6 +306,14 @@ func (a *app) startListener(addr string) error {
 		return err
 	}
 	a.netl = l
+	if a.srv.reg != nil {
+		a.srv.reg.CounterFunc("aq_net_connections_accepted_total",
+			"Ingest connections that completed the hello handshake.",
+			func() float64 { return float64(l.Accepted()) })
+		a.srv.reg.CounterFunc("aq_net_connections_rejected_total",
+			"Ingest connections dropped for protocol or sink errors.",
+			func() float64 { return float64(l.Rejected()) })
+	}
 	return nil
 }
 
@@ -322,6 +346,9 @@ func (a *app) drain() {
 			a.log.Error("closing durable log", "err", err)
 		}
 	}
+	if a.srv.history != nil {
+		a.srv.history.Stop()
+	}
 }
 
 func main() {
@@ -344,6 +371,9 @@ func main() {
 	apiOn := flag.Bool("api", false, "mount /api/ for runtime CQL query management (see docs/API.md)")
 	maxQueries := flag.Int("max-queries-per-tenant", 0, "runtime queries one tenant may keep registered; 0 = unlimited")
 	maxIngest := flag.Int("max-ingest-per-sec", 0, "data tuples per second one source admits (token bucket, 1s burst); 0 = unlimited")
+	statsStep := flag.Duration("stats-step", time.Second, "metric-history sampling interval behind /api/stats (with -obs)")
+	statsRetention := flag.Duration("stats-retention", 10*time.Minute, "metric-history retention horizon behind /api/stats (with -obs)")
+	sloBudget := flag.Float64("slo-budget", 0.01, "quality-SLO error budget as a fraction of wall time in violation; burn rate 1.0 = consuming exactly this (0 disables burn-rate readouts)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -379,7 +409,8 @@ func main() {
 		traceBuf: *traceBuf, traceDump: *traceDump, log: logger,
 		durableDir: *durableDir, snapshotEvery: *snapshotInterval,
 		listen: *listen, apiOn: *apiOn,
-		quotas: fleet.Quotas{MaxQueriesPerTenant: *maxQueries, MaxIngestPerSec: *maxIngest}}
+		quotas:    fleet.Quotas{MaxQueriesPerTenant: *maxQueries, MaxIngestPerSec: *maxIngest},
+		statsStep: *statsStep, statsRetention: *statsRetention, sloBudget: *sloBudget}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -118,6 +119,19 @@ type queryRunner struct {
 	// emitLatency is the push-side latency histogram; nil without -obs
 	// (see obs.go for the rest of the per-query instruments).
 	emitLatency *obs.Histogram
+
+	// Wire provenance (runtime queries over -listen sources): wireLat is
+	// the per-source aq_wire_latency_ms histogram (nil without -obs or
+	// for compiled-in queries); wireSendMS holds the client send time of
+	// the most recent provenance-marked batch pumped into the runner, so
+	// absorbOne can observe true client-send→emission latency. The
+	// attribution is batch-granular: results sealed while a batch is in
+	// flight are charged to the newest mark, which smears under backlog
+	// but never lies about the clock base. wallMS is the wall-clock
+	// source, injectable by tests; nil means time.Now.
+	wireLat    *obs.Histogram
+	wireSendMS atomic.Int64
+	wallMS     func() int64
 
 	// Runtime-registered queries (api.go). statement/tenant identify the
 	// registration; shedExtra folds upstream losses — fan-out ring laps
@@ -421,6 +435,7 @@ func (q *queryRunner) absorbOne(r window.Result) {
 	q.emitted++
 	q.latency.Add(float64(r.Latency()))
 	q.observeLatency(float64(r.Latency()))
+	q.observeWireLatency()
 	if !q.grouped {
 		// Grouped runners' emits are traced inside the cq engine; tracing
 		// them here too would double-count every window.
@@ -438,6 +453,44 @@ func (q *queryRunner) absorbKeyed(kr window.KeyedResult) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.absorbOne(kr.Result)
+}
+
+// wallNowMS reads the runner's wall clock (injectable for tests).
+func (q *queryRunner) wallNowMS() int64 {
+	if q.wallMS != nil {
+		return q.wallMS()
+	}
+	return time.Now().UnixMilli()
+}
+
+// noteWireBatch records a provenance-marked transport batch arriving at
+// the runner: a wire-batch event in the flight recorder (replayed ids
+// show up as duplicate Win values — the visible shape of an
+// at-least-once reconnect) and the clock base absorbOne charges
+// subsequent emissions against.
+func (q *queryRunner) noteWireBatch(p stream.BatchProv, n int) {
+	if !p.Valid() {
+		return
+	}
+	q.tracer.WireBatch(q.wallNowMS(), p.BatchID, n, p.SendMS)
+	q.wireSendMS.Store(p.SendMS)
+}
+
+// observeWireLatency publishes one emission's client-send→emission
+// latency against the newest wire mark; a no-op without -obs, for
+// compiled-in queries, and before the first marked batch. q.mu is held
+// by the caller (only atomics and the histogram are touched).
+func (q *queryRunner) observeWireLatency() {
+	if q.wireLat == nil {
+		return
+	}
+	send := q.wireSendMS.Load()
+	if send == 0 {
+		return
+	}
+	if d := q.wallNowMS() - send; d >= 0 {
+		q.wireLat.Observe(float64(d))
+	}
 }
 
 // shedTotalLocked returns the query's full shed count: overload-policy
@@ -601,6 +654,15 @@ type server struct {
 	// api is the runtime query-management handler (api.go); nil without
 	// -api.
 	api http.Handler
+	// history is the metric time-series store behind /api/stats and the
+	// SLO burn-rate gauges; nil without -obs.
+	history *obs.History
+	// sloBudget is the error-budget fraction the burn-rate evaluation
+	// divides by (-slo-budget flag); <= 0 disables burn-rate readouts.
+	sloBudget float64
+	// fleetTenants reports live runtime-query counts per tenant from the
+	// fleet registry (fleet.Registry.Tenants); nil without -listen/-api.
+	fleetTenants func() map[string]int
 }
 
 func newServer() *server {
@@ -655,6 +717,11 @@ type readiness struct {
 	// startup, what its recovery did — proof the restart resumed instead
 	// of starting over.
 	Recovered map[string]*recoveryStatus `json:"recovered,omitempty"`
+	// Degraded explains, per degraded query, *why* it is degraded:
+	// health-state causes, a live quality violation, and — when both the
+	// fast and slow SLO burn-rate windows run hot — the burn readings
+	// themselves. Operators get reasons, not just a one-word state.
+	Degraded map[string][]string `json:"degraded,omitempty"`
 }
 
 // readiness reports per-query health. The server is ready when it is not
@@ -675,8 +742,23 @@ func (s *server) readiness() readiness {
 		if h == healthStalled {
 			r.Ready = false
 		}
+		var reasons []string
+		if h == healthDegraded {
+			reasons = append(reasons, "retries, sheds or panics occurred while feeding")
+		}
 		if q.watchdog.InViolation() {
 			r.QualityViolations = append(r.QualityViolations, n)
+			reasons = append(reasons, "realized error currently above the declared θ")
+		}
+		if fast, slow, ok := s.burnRates(n); ok && fast >= 1 && slow >= 1 {
+			reasons = append(reasons, fmt.Sprintf(
+				"SLO burn rate %.2fx (fast) / %.2fx (slow) — error budget burning faster than allotted", fast, slow))
+		}
+		if len(reasons) > 0 {
+			if r.Degraded == nil {
+				r.Degraded = make(map[string][]string)
+			}
+			r.Degraded[n] = reasons
 		}
 		if q.recovery != nil {
 			if r.Recovered == nil {
@@ -736,8 +818,13 @@ func (s *server) handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/debug/aq/trace", s.handleTrace)
+	if s.history != nil {
+		// Exact pattern: wins over the /api/ prefix route below, so the
+		// stats plane works even without -api.
+		mux.HandleFunc("/api/stats", s.instrumentRoute("/api/stats", s.handleStats))
+	}
 	if s.api != nil {
-		mux.Handle("/api/", s.api)
+		mux.Handle("/api/", s.instrumentAPI(s.api))
 	}
 	if s.reg != nil {
 		mountObs(mux, s.reg)

@@ -39,7 +39,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	warmup := flag.Int("warmup", 20, "windows to skip in the metrics")
 	traceOut := flag.String("trace", "", "write executed statements' event trace to this file (Chrome trace JSON)")
+	top := flag.String("top", "", "live fleet console over a running aqserver, e.g. -top http://localhost:8080 (needs aqserver -obs)")
+	topInterval := flag.Duration("top-interval", time.Second, "console refresh interval (with -top)")
+	topFrames := flag.Int("top-frames", 0, "console frames to draw before exiting; 0 = until interrupted (with -top)")
 	flag.Parse()
+
+	if *top != "" {
+		if err := runTop(os.Stdout, *top, *topInterval, *topFrames); err != nil {
+			fmt.Fprintln(os.Stderr, "cqlsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tr *tracez.Tracer
 	if *traceOut != "" {

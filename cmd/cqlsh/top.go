@@ -1,0 +1,268 @@
+package main
+
+// cqlsh -top: a live terminal console over a running aqserver's
+// /api/stats plane. Each frame fetches the windowed metric history plus
+// the per-query and per-tenant rollups and renders a dashboard: θ vs
+// realized error, the current slack K, shed fraction, SLO burn rates,
+// and sparklines of the recent history — including the per-source wire
+// latency derived from the aq_wire_latency_ms histogram readings.
+//
+//	$ go run ./cmd/cqlsh -top http://localhost:8080
+//
+// Rendering is split from fetching: renderTop is a pure function of the
+// decoded payload, so the tests drive frames without a terminal.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// topSeriesNames is the history selection one console frame needs.
+const topSeriesNames = "aq_quality_realized_err_adjusted,aq_buffer_k_ms,aq_wire_latency_ms"
+
+// topStats mirrors the slice of aqserver's /api/stats response the
+// console renders (cqlsh deliberately shares no code with the server —
+// it speaks only the public JSON).
+type topStats struct {
+	NowMS   int64                `json:"nowMs"`
+	StepMS  int64                `json:"stepMs"`
+	Series  []topSeries          `json:"series"`
+	Queries map[string]topQuery  `json:"queries"`
+	Tenants map[string]topTenant `json:"tenants"`
+}
+
+type topSeries struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels"`
+	Points []topPoint        `json:"points"`
+}
+
+type topPoint struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+type topQuery struct {
+	Tenant      string  `json:"tenant"`
+	Health      string  `json:"health"`
+	Theta       float64 `json:"theta"`
+	K           int64   `json:"currentK"`
+	RealizedErr float64 `json:"realizedErrAdjusted"`
+	TuplesIn    int64   `json:"tuplesIn"`
+	Windows     int64   `json:"windowsEmitted"`
+	Shed        int64   `json:"shedTuples"`
+	BurnFast    float64 `json:"burnRateFast"`
+	BurnSlow    float64 `json:"burnRateSlow"`
+}
+
+type topTenant struct {
+	Queries  int   `json:"queries"`
+	TuplesIn int64 `json:"tuplesIn"`
+	Windows  int64 `json:"windowsEmitted"`
+	Shed     int64 `json:"shedTuples"`
+}
+
+// sparkBars are the eight block glyphs a sparkline is built from.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals as a fixed-width block graph scaled to the
+// value range (a flat series renders as the lowest bar). Longer series
+// keep the newest width points.
+func sparkline(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkBars)-1))
+		}
+		b.WriteRune(sparkBars[i])
+	}
+	return b.String()
+}
+
+// seriesFor extracts one query-labelled series' values.
+func seriesFor(st *topStats, name, labelKey, labelVal string) []float64 {
+	for _, s := range st.Series {
+		if s.Name == name && s.Labels[labelKey] == labelVal {
+			vals := make([]float64, len(s.Points))
+			for i, p := range s.Points {
+				vals[i] = p.V
+			}
+			return vals
+		}
+	}
+	return nil
+}
+
+// wireLatencySeries derives per-interval average wire latency per
+// source from the histogram's cumulative _sum/_count readings:
+// Δsum/Δcount between consecutive samples (intervals with no
+// observations repeat the previous average, keeping the sparkline
+// continuous).
+func wireLatencySeries(st *topStats) map[string][]float64 {
+	type pair struct{ count, sum []topPoint }
+	bySource := map[string]*pair{}
+	for _, s := range st.Series {
+		src := s.Labels["source"]
+		if src == "" {
+			continue
+		}
+		switch s.Name {
+		case "aq_wire_latency_ms_count":
+			p := bySource[src]
+			if p == nil {
+				p = &pair{}
+				bySource[src] = p
+			}
+			p.count = s.Points
+		case "aq_wire_latency_ms_sum":
+			p := bySource[src]
+			if p == nil {
+				p = &pair{}
+				bySource[src] = p
+			}
+			p.sum = s.Points
+		}
+	}
+	out := map[string][]float64{}
+	for src, p := range bySource {
+		n := len(p.count)
+		if len(p.sum) < n {
+			n = len(p.sum)
+		}
+		var vals []float64
+		last := 0.0
+		for i := 1; i < n; i++ {
+			dc := p.count[i].V - p.count[i-1].V
+			ds := p.sum[i].V - p.sum[i-1].V
+			if dc > 0 {
+				last = ds / dc
+			}
+			vals = append(vals, last)
+		}
+		if len(vals) > 0 {
+			out[src] = vals
+		}
+	}
+	return out
+}
+
+const sparkWidth = 24
+
+// renderTop writes one dashboard frame.
+func renderTop(w io.Writer, st *topStats) {
+	fmt.Fprintf(w, "aqserver fleet console — %s  (history step %s)\n\n",
+		time.UnixMilli(st.NowMS).Format("15:04:05"), time.Duration(st.StepMS)*time.Millisecond)
+
+	names := make([]string, 0, len(st.Queries))
+	for n := range st.Queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-16s %-8s %-9s %8s %10s %8s %7s %7s %7s\n",
+		"QUERY", "TENANT", "HEALTH", "θ", "ERR", "K(ms)", "SHED%", "BURN/f", "BURN/s")
+	for _, n := range names {
+		q := st.Queries[n]
+		shedPct := 0.0
+		if q.TuplesIn+q.Shed > 0 {
+			shedPct = 100 * float64(q.Shed) / float64(q.TuplesIn+q.Shed)
+		}
+		fmt.Fprintf(w, "%-16s %-8s %-9s %8.4f %10.5f %8d %6.2f%% %7.2f %7.2f\n",
+			n, q.Tenant, q.Health, q.Theta, q.RealizedErr, q.K, shedPct, q.BurnFast, q.BurnSlow)
+		if errs := seriesFor(st, "aq_quality_realized_err_adjusted", "query", n); len(errs) > 1 {
+			fmt.Fprintf(w, "    err %s\n", sparkline(errs, sparkWidth))
+		}
+		if ks := seriesFor(st, "aq_buffer_k_ms", "query", n); len(ks) > 1 {
+			fmt.Fprintf(w, "    K   %s\n", sparkline(ks, sparkWidth))
+		}
+	}
+
+	if wire := wireLatencySeries(st); len(wire) > 0 {
+		fmt.Fprintf(w, "\nwire latency (client send → emission, per source)\n")
+		srcs := make([]string, 0, len(wire))
+		for s := range wire {
+			srcs = append(srcs, s)
+		}
+		sort.Strings(srcs)
+		for _, s := range srcs {
+			vals := wire[s]
+			fmt.Fprintf(w, "%-16s %8.1fms %s\n", s, vals[len(vals)-1], sparkline(vals, sparkWidth))
+		}
+	}
+
+	if len(st.Tenants) > 0 {
+		fmt.Fprintf(w, "\n%-16s %8s %12s %12s %12s\n", "TENANT", "QUERIES", "TUPLES", "WINDOWS", "SHED")
+		tenants := make([]string, 0, len(st.Tenants))
+		for t := range st.Tenants {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, tn := range tenants {
+			tr := st.Tenants[tn]
+			fmt.Fprintf(w, "%-16s %8d %12d %12d %12d\n", tn, tr.Queries, tr.TuplesIn, tr.Windows, tr.Shed)
+		}
+	}
+}
+
+// fetchStats pulls one /api/stats payload.
+func fetchStats(client *http.Client, base string) (*topStats, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/api/stats?series=" + topSeriesNames)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /api/stats: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st topStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// runTop polls the server and repaints the dashboard every interval.
+// frames > 0 bounds the frame count (the tests use it); 0 runs until
+// the process is interrupted. The first fetch error is fatal — a
+// console that cannot reach its server should say so, not spin — while
+// later errors are drawn into the frame and retried.
+func runTop(out io.Writer, base string, interval time.Duration, frames int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; frames <= 0 || i < frames; i++ {
+		st, err := fetchStats(client, base)
+		if err != nil {
+			if i == 0 {
+				return err
+			}
+			fmt.Fprintf(out, "\x1b[2J\x1b[H(stats fetch failed, retrying: %v)\n", err)
+		} else {
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+			renderTop(out, st)
+		}
+		if frames <= 0 || i < frames-1 {
+			time.Sleep(interval)
+		}
+	}
+	return nil
+}

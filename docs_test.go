@@ -85,6 +85,82 @@ func TestDocLinks(t *testing.T) {
 	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
 }
 
+// metricRegistration matches a metric registration call with its quoted
+// name: the Registry constructors (Counter, Gauge, Histogram,
+// CounterFunc, GaugeFunc) plus the lowercase local helper closures
+// cmd/aqserver/obs.go registers through. Quoted metric names that are
+// *not* registrations (e.g. cqlsh matching the derived
+// `aq_wire_latency_ms_count` reading name) deliberately do not match.
+var metricRegistration = regexp.MustCompile(
+	`(?:Counter|Gauge|Histogram|CounterFunc|GaugeFunc|counter|gauge)\(\s*"((?:aq|durable)_[a-z0-9_]+)"`)
+
+// catalogRow matches one metric-catalog table row in
+// docs/OBSERVABILITY.md: a table line whose first cell is a backticked
+// aq_/durable_ name. Prose mentions and PromQL samples are not rows.
+var catalogRow = regexp.MustCompile("(?m)^\\|\\s*`((?:aq|durable)_[a-z0-9_]+)`\\s*\\|")
+
+// TestMetricsCatalog is the metrics half of `make check`'s doccheck: the
+// metric catalog in docs/OBSERVABILITY.md and the registrations in the
+// code must agree in both directions. A metric added without a catalog
+// row is invisible to operators; a catalog row whose metric was renamed
+// or removed is documentation lying about the dashboard.
+func TestMetricsCatalog(t *testing.T) {
+	inCode := map[string][]string{} // name -> files registering it
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricRegistration.FindAllStringSubmatch(string(src), -1) {
+				inCode[m[1]] = append(inCode[m[1]], path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDocs := map[string]bool{}
+	for _, m := range catalogRow.FindAllStringSubmatch(string(raw), -1) {
+		inDocs[m[1]] = true
+	}
+
+	if len(inCode) < 40 || len(inDocs) < 40 {
+		t.Fatalf("extraction rotted: %d registered names, %d catalogued rows (want ≥ 40 each)",
+			len(inCode), len(inDocs))
+	}
+	for name, files := range inCode {
+		if !inDocs[name] {
+			t.Errorf("metric %q registered in %s but has no catalog row in docs/OBSERVABILITY.md",
+				name, files[0])
+		}
+	}
+	for name := range inDocs {
+		if _, ok := inCode[name]; !ok {
+			t.Errorf("docs/OBSERVABILITY.md catalogues %q but no code registers it", name)
+		}
+	}
+	t.Logf("catalog check: %d registered metric names against %d documented rows", len(inCode), len(inDocs))
+}
+
 func stripCodeFences(s string) string {
 	var out strings.Builder
 	inFence := false

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -63,6 +64,14 @@ func main() {
 
 	ctx := context.Background()
 	reg := obs.NewRegistry()
+
+	// Windowed metric history over the same registry: the background
+	// sampler snapshots every series while the pipelines run — the same
+	// machinery aqserver serves at /api/stats with -obs. A fast step
+	// (real deployments use ~1s) gives the short demo run some depth.
+	hist := obs.NewHistory(reg, obs.HistoryOptions{Step: 20 * time.Millisecond, Retention: time.Minute})
+	hist.Start()
+
 	var wg sync.WaitGroup
 	for _, p := range panels {
 		p := p
@@ -97,6 +106,26 @@ func main() {
 	}
 	fmt.Println("\nall three queries ran as concurrent channel pipelines with independent")
 	fmt.Println("quality bounds; each handler adapted its own slack.")
+
+	hist.Stop()
+	fmt.Println("\n--- windowed history (obs.History; aqserver serves this at /api/stats) ---")
+	fmt.Println("series: aq_controller_k_ms — the slack each controller paid over the run")
+	for _, s := range hist.Query(obs.HistoryQuery{Names: []string{"aq_controller_k_ms"}}) {
+		if len(s.Points) == 0 {
+			continue
+		}
+		lo, hi := s.Points[0].V, s.Points[0].V
+		for _, p := range s.Points[1:] {
+			if p.V < lo {
+				lo = p.V
+			}
+			if p.V > hi {
+				hi = p.V
+			}
+		}
+		fmt.Printf("  %-15s %3d samples  first=%-6.0f last=%-6.0f min=%-6.0f max=%.0f\n",
+			s.Labels["query"], len(s.Points), s.Points[0].V, s.Points[len(s.Points)-1].V, lo, hi)
+	}
 
 	fmt.Println("\n--- final /metrics scrape (Prometheus text format) ---")
 	if err := reg.WritePrometheus(os.Stdout); err != nil {

@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/stream"
 )
 
@@ -101,3 +102,12 @@ func (i *Instrumented) String() string { return i.inner.String() }
 // Unwrap returns the wrapped handler, for callers that need its concrete
 // type (e.g. the adaptive handler's Trace).
 func (i *Instrumented) Unwrap() Handler { return i.inner }
+
+// TraceTo forwards tracer attachment to the wrapped handler when it
+// supports it (the adaptive controllers in internal/core), so
+// instrumenting a handler never silences its controller events.
+func (i *Instrumented) TraceTo(tr *tracez.Tracer) {
+	if qt, ok := i.inner.(interface{ TraceTo(*tracez.Tracer) }); ok {
+		qt.TraceTo(tr)
+	}
+}

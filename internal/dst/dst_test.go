@@ -253,3 +253,33 @@ func TestNetReplayPreservesTranscript(t *testing.T) {
 		t.Error("shrink kept the Net dimension against an always-failing predicate")
 	}
 }
+
+// TestNetReconnectReplayDedup pins the reconnect half of the Net
+// contract directly: the transcript framed as provenance-marked batches
+// across a connection cut — the redial resending the boundary batch
+// with its identical mark — deduplicates by batch id back to the
+// byte-identical item sequence.
+func TestNetReconnectReplayDedup(t *testing.T) {
+	p := PlanForSeed(11)
+	items := p.transcript()
+	if len(items) < 2*64 {
+		t.Fatalf("transcript too short to cross a batch boundary: %d items", len(items))
+	}
+	deduped, err := replayNetstreamReconnect(items, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DigestItems(deduped), DigestItems(items); got != want {
+		t.Fatalf("reconnect replay changed the transcript: %s != %s (%d vs %d items)",
+			got, want, len(deduped), len(items))
+	}
+	// A degenerate batch size exercises many marks and a mid-stream cut
+	// on a short prefix too.
+	short, err := replayNetstreamReconnect(items[:10], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DigestItems(short), DigestItems(items[:10]); got != want {
+		t.Fatalf("short reconnect replay diverged: %s != %s", got, want)
+	}
+}

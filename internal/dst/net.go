@@ -60,3 +60,142 @@ func replayNetstream(items []stream.Item) ([]stream.Item, error) {
 	}
 	return decoded, nil
 }
+
+// provItem is one decoded item together with the wire-provenance mark
+// in effect when it was read.
+type provItem struct {
+	item stream.Item
+	prov stream.BatchProv
+}
+
+// replayNetstreamReconnect replays the transcript as provenance-marked
+// batches across a connection cut: every batch is prefixed by a B mark
+// (deterministic id and send time), the first connection ends at a
+// batch boundary, and the redial resends the boundary batch with its
+// byte-identical mark — the netstream.Client contract, where the
+// duplicated id is the server's replay signal. The consumer
+// deduplicates by batch id and the result must digest identically to
+// the transcript; every decoded item must sit under a valid mark, and
+// a mark must never change across the replay.
+func replayNetstreamReconnect(items []stream.Item, batchSize int) ([]stream.Item, error) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	type wireBatch struct {
+		prov  stream.BatchProv
+		items []stream.Item
+	}
+	var batches []wireBatch
+	for i := 0; i < len(items); i += batchSize {
+		j := i + batchSize
+		if j > len(items) {
+			j = len(items)
+		}
+		id := uint64(len(batches) + 1)
+		batches = append(batches, wireBatch{
+			prov:  stream.BatchProv{BatchID: id, SendMS: int64(1_000 + 10*id)},
+			items: items[i:j],
+		})
+	}
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	cut := len(batches) / 2 // boundary batch: delivered on both connections
+
+	// sendRange frames batches[from:to] over one pipe connection and
+	// returns each decoded item with its in-effect mark.
+	sendRange := func(from, to int) ([]provItem, error) {
+		client, server := net.Pipe()
+		writeErr := make(chan error, 1)
+		go func() {
+			defer client.Close()
+			buf := netstream.AppendHello(nil, "dst", "")
+			for _, b := range batches[from:to] {
+				buf = netstream.AppendBatchMark(buf, b.prov)
+				for _, it := range b.items {
+					buf = netstream.AppendItem(buf, it)
+				}
+				if len(buf) >= 32<<10 {
+					if _, err := client.Write(buf); err != nil {
+						writeErr <- err
+						return
+					}
+					buf = buf[:0]
+				}
+			}
+			if len(buf) > 0 {
+				if _, err := client.Write(buf); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+			writeErr <- nil
+		}()
+		d := netstream.NewDecoder(server)
+		if err := d.Hello(); err != nil {
+			server.Close()
+			return nil, fmt.Errorf("dst: netstream reconnect hello: %w", err)
+		}
+		var got []provItem
+		for {
+			it, ok, err := d.Next()
+			if err != nil {
+				server.Close()
+				return nil, fmt.Errorf("dst: netstream reconnect decode: %w", err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, provItem{item: it, prov: d.Prov()})
+		}
+		server.Close()
+		if werr := <-writeErr; werr != nil {
+			return nil, fmt.Errorf("dst: netstream reconnect write: %w", werr)
+		}
+		return got, nil
+	}
+
+	first, err := sendRange(0, cut+1) // connection dies after the boundary batch
+	if err != nil {
+		return nil, err
+	}
+	second, err := sendRange(cut, len(batches)) // redial replays the boundary mark
+	if err != nil {
+		return nil, err
+	}
+
+	// Consumer-side dedup: a batch id at or below the highest id a
+	// previous connection completed is a replay and is dropped whole.
+	marks := make(map[uint64]stream.BatchProv, len(batches))
+	var out []stream.Item
+	doneThrough := uint64(0)
+	for _, conn := range [][]provItem{first, second} {
+		maxID := doneThrough
+		for _, pi := range conn {
+			id := pi.prov.BatchID
+			if id == 0 {
+				return nil, fmt.Errorf("dst: item decoded without a provenance mark")
+			}
+			if prev, seen := marks[id]; seen {
+				if prev != pi.prov {
+					return nil, fmt.Errorf("dst: provenance mark for batch %d changed across replay: %+v vs %+v",
+						id, prev, pi.prov)
+				}
+			} else {
+				marks[id] = pi.prov
+			}
+			if id > maxID {
+				maxID = id
+			}
+			if id <= doneThrough {
+				continue // replayed batch: the duplicated id is the signal
+			}
+			out = append(out, pi.item)
+		}
+		doneThrough = maxID
+	}
+	if len(marks) != len(batches) {
+		return nil, fmt.Errorf("dst: observed %d distinct marks, want %d", len(marks), len(batches))
+	}
+	return out, nil
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/obs"
 	"repro/internal/obs/tracez"
 	"repro/internal/oracle"
 	"repro/internal/resilience"
@@ -237,6 +239,55 @@ func Execute(p Plan) (*Outcome, error) {
 				o.fail("net: %v", err)
 			}
 		}
+		// …and wire provenance survives a reconnect replay: the same
+		// transcript framed as B-marked batches across a connection cut
+		// — the redial resending the boundary batch with its identical
+		// mark — deduplicates by batch id back to the byte-identical
+		// sequence (mark mutations and unmarked items fail inside the
+		// replay helper).
+		redecoded, err := replayNetstreamReconnect(items, 64)
+		if err != nil {
+			o.fail("net-reconnect: %v", err)
+		} else if got := DigestItems(redecoded); got != o.ItemsDigest {
+			o.fail("net-reconnect: deduplicated transcript digest %s != %s (%d vs %d items)",
+				got, o.ItemsDigest, len(redecoded), len(items))
+		}
+	}
+
+	// Contract 1e: the observability plane is passive. The identical
+	// synchronous run with the handler instrumented into a registry and
+	// an obs.History hammering Sample on that registry from another
+	// goroutine must reproduce both the output digest and the trace
+	// digest byte for byte — sampling reads instruments, it never
+	// perturbs execution.
+	obsRec := tracez.NewRecorder(1 << 15)
+	reg := obs.NewRegistry()
+	obsHandler := buffer.Instrument(p.handler(), reg, obs.L("query", "dst"))
+	hist := obs.NewHistory(reg, obs.HistoryOptions{Step: time.Millisecond, Retention: time.Second})
+	stopSampling := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+				hist.Sample()
+			}
+		}
+	}()
+	obsSync, err := p.runSync(items, obsHandler, tracez.New(obsRec, "dst"))
+	close(stopSampling)
+	<-samplerDone
+	if err != nil {
+		return nil, fmt.Errorf("dst: instrumented sync run: %w", err)
+	}
+	if got := DigestOutput(obsSync); got != o.OutputDigest {
+		o.fail("obs-passivity: output digest %s != %s under history sampling", got, o.OutputDigest)
+	}
+	if got := tracez.Digest(obsRec.Events()); got != o.TraceDigest {
+		o.fail("obs-passivity: trace digest %s != %s under history sampling", got, o.TraceDigest)
 	}
 
 	// Contract 2: realized quality within θ (adaptive ungrouped plans; the

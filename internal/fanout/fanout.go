@@ -73,10 +73,11 @@ var ErrClosed = errors.New("fanout: broadcast closed")
 type batch struct {
 	seq   int64 // ring sequence, dense from 0
 	items []stream.Item
-	n     int64 // data tuples in items (heartbeats excluded)
-	cum   int64 // cumulative data tuples through this batch, inclusive
-	eos   bool  // end-of-stream marker (items empty)
-	err   error // producer failure (items empty, eos set)
+	n     int64            // data tuples in items (heartbeats excluded)
+	cum   int64            // cumulative data tuples through this batch, inclusive
+	eos   bool             // end-of-stream marker (items empty)
+	err   error            // producer failure (items empty, eos set)
+	prov  stream.BatchProv // wire provenance (zero when the producer has none)
 }
 
 // signal is a broadcast parking spot: waiters grab the current epoch
@@ -290,20 +291,29 @@ func (b *Broadcast) minCursor(blockOnly bool) int64 {
 // unreleased. On success the ring owns items. Returns ErrClosed after
 // Close/Fail, ctx.Err() when cancelled while waiting.
 func (b *Broadcast) Publish(ctx context.Context, items []stream.Item) error {
-	return b.publish(ctx, items, false, nil)
+	return b.publish(ctx, items, stream.BatchProv{}, false, nil)
+}
+
+// PublishProv is Publish with wire provenance attached: consumers that
+// read through NextBatchProv see the batch's client-stamped id and send
+// time alongside the items.
+func (b *Broadcast) PublishProv(ctx context.Context, items []stream.Item, prov stream.BatchProv) error {
+	return b.publish(ctx, items, prov, false, nil)
 }
 
 // Close publishes the end-of-stream marker: every consumer drains the
 // remaining batches and then sees a clean end. Idempotent only in the
 // sense that the producer must not publish afterwards.
-func (b *Broadcast) Close() { b.publish(context.Background(), nil, true, nil) }
+func (b *Broadcast) Close() { b.publish(context.Background(), nil, stream.BatchProv{}, true, nil) }
 
 // Fail publishes a terminal producer error: consumers drain the
 // remaining batches and then receive err. Use it when the upstream
 // source fails so every subscriber aborts with the same cause.
-func (b *Broadcast) Fail(err error) { b.publish(context.Background(), nil, true, err) }
+func (b *Broadcast) Fail(err error) {
+	b.publish(context.Background(), nil, stream.BatchProv{}, true, err)
+}
 
-func (b *Broadcast) publish(ctx context.Context, items []stream.Item, eos bool, errv error) error {
+func (b *Broadcast) publish(ctx context.Context, items []stream.Item, prov stream.BatchProv, eos bool, errv error) error {
 	if b.closed {
 		return ErrClosed
 	}
@@ -323,7 +333,7 @@ func (b *Broadcast) publish(ctx context.Context, items []stream.Item, eos bool, 
 		}
 	}
 	b.cum += n
-	nb := &batch{seq: seq, items: items, n: n, cum: b.cum, eos: eos, err: errv}
+	nb := &batch{seq: seq, items: items, n: n, cum: b.cum, eos: eos, err: errv, prov: prov}
 
 	// Wait for the slot: the previous occupant (seq - ring) must have
 	// been released by every live Block consumer before it is
@@ -513,14 +523,21 @@ func (s *Sub) Unsubscribe() {
 // producer failed (after all prior batches were delivered). ShedOldest
 // consumers may observe a jump: skipped batches are accounted on Shed.
 func (s *Sub) NextBatch(ctx context.Context) (items []stream.Item, seq int64, ok bool, err error) {
+	items, seq, _, ok, err = s.NextBatchProv(ctx)
+	return items, seq, ok, err
+}
+
+// NextBatchProv is NextBatch plus the batch's wire provenance (the zero
+// BatchProv when the producer published without any).
+func (s *Sub) NextBatchProv(ctx context.Context) (items []stream.Item, seq int64, prov stream.BatchProv, ok bool, err error) {
 	bt, err := s.acquire(ctx)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, stream.BatchProv{}, false, err
 	}
 	if bt == nil {
-		return nil, 0, false, nil
+		return nil, 0, stream.BatchProv{}, false, nil
 	}
-	return bt.items, bt.seq, true, nil
+	return bt.items, bt.seq, bt.prov, true, nil
 }
 
 // acquire waits for and adopts the batch at (or, for a lapped

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/fanout"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/stream"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	// Clock drives the rate limiter; nil means WallClock. The
 	// deterministic tests inject a fake.
 	Clock resilience.Clock
+	// Metrics, when non-nil, registers per-source ingest series
+	// (aq_source_tuples_total, aq_source_rate_shed_total) as sources
+	// appear.
+	Metrics *obs.Registry
 }
 
 // Registry tracks sources and queries. Safe for concurrent use.
@@ -110,6 +115,14 @@ func (r *Registry) sourceLocked(name string) *Source {
 		s.lastRefill = r.opts.Clock.Now()
 		s.tokens = float64(s.rate) // full bucket: one second of burst
 		r.sources[name] = s
+		if reg := r.opts.Metrics; reg != nil {
+			reg.CounterFunc("aq_source_tuples_total",
+				"Data tuples admitted to the source's broadcast ring.",
+				func() float64 { return float64(s.Tuples()) }, obs.L("source", name))
+			reg.CounterFunc("aq_source_rate_shed_total",
+				"Data tuples dropped by the per-source ingest rate limiter.",
+				func() float64 { return float64(s.RateShed()) }, obs.L("source", name))
+		}
 	}
 	return s
 }
@@ -138,8 +151,10 @@ func (r *Registry) SourceNames() []string {
 // Publish implements netstream.Sink: decoded batches from the TCP
 // listener land on the named source's ring. The items slice is the
 // listener's reusable batch buffer, so the source copies before
-// publishing.
-func (r *Registry) Publish(source, tenant string, items []stream.Item) error {
+// publishing. prov is the batch's wire provenance (zero for v1
+// producers); it rides the ring so consumers can attribute emission
+// latency back to the client's send time.
+func (r *Registry) Publish(source, tenant string, items []stream.Item, prov stream.BatchProv) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -147,7 +162,7 @@ func (r *Registry) Publish(source, tenant string, items []stream.Item) error {
 	}
 	s := r.sourceLocked(source)
 	r.mu.Unlock()
-	return s.Publish(items)
+	return s.PublishProv(items, prov)
 }
 
 // Query is one registered runtime query's control-plane entry. The
@@ -218,6 +233,18 @@ func (r *Registry) QueryNames() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Tenants returns the live query count per tenant (the control plane's
+// per-tenant rollup input). The empty tenant appears under "".
+func (r *Registry) Tenants() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.byTen))
+	for t, n := range r.byTen {
+		out[t] = n
+	}
 	return out
 }
 
@@ -325,10 +352,16 @@ func (s *Source) Attach(query string) *fanout.Sub {
 	return s.ring.SubscribeLate(query, fanout.ShedOldest)
 }
 
-// Publish admits one batch: the rate limiter sheds over-rate data
-// tuples (heartbeats always pass), the remainder is copied into a
-// ring-pooled slice and published. The input slice is never retained.
+// Publish admits one batch with no wire provenance. See PublishProv.
 func (s *Source) Publish(items []stream.Item) error {
+	return s.PublishProv(items, stream.BatchProv{})
+}
+
+// PublishProv admits one batch: the rate limiter sheds over-rate data
+// tuples (heartbeats always pass), the remainder is copied into a
+// ring-pooled slice and published with the batch's wire provenance.
+// The input slice is never retained.
+func (s *Source) PublishProv(items []stream.Item, prov stream.BatchProv) error {
 	s.pubMu.Lock()
 	defer s.pubMu.Unlock()
 	if s.closed {
@@ -368,7 +401,7 @@ func (s *Source) Publish(items []stream.Item) error {
 	if len(admitted) == 0 {
 		return nil
 	}
-	if err := s.ring.Publish(context.Background(), admitted); err != nil {
+	if err := s.ring.PublishProv(context.Background(), admitted, prov); err != nil {
 		return err
 	}
 	s.tuples.Add(data)

@@ -1,13 +1,16 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/fanout"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -81,7 +84,7 @@ func TestPublishCreatesSourceAndCopiesBatch(t *testing.T) {
 	buf := make([]stream.Item, 0, 8)
 	for i := 0; i < 4; i++ {
 		buf = append(buf[:0], dataItems(i*10, 5)...)
-		if err := r.Publish("s1", "t1", buf); err != nil {
+		if err := r.Publish("s1", "t1", buf, stream.BatchProv{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -195,7 +198,7 @@ func TestCloseEndsStreamsAndStopsQueries(t *testing.T) {
 	if err := r.AddQuery(&Query{Name: "q1", Tenant: "t", Stop: func() { stopped++ }}); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Publish("s1", "t", dataItems(0, 3)); err != nil {
+	if err := r.Publish("s1", "t", dataItems(0, 3), stream.BatchProv{}); err != nil {
 		t.Fatal(err)
 	}
 	r.Close()
@@ -206,7 +209,7 @@ func TestCloseEndsStreamsAndStopsQueries(t *testing.T) {
 	if vals := drainSub(t, sub); len(vals) != 3 {
 		t.Fatalf("consumer saw %d values, want 3 then clean end", len(vals))
 	}
-	if err := r.Publish("s1", "t", dataItems(0, 1)); err == nil {
+	if err := r.Publish("s1", "t", dataItems(0, 1), stream.BatchProv{}); err == nil {
 		t.Fatal("Publish after Close should fail")
 	}
 	if err := r.AddQuery(&Query{Name: "q2", Tenant: "t"}); err == nil {
@@ -271,5 +274,154 @@ func TestAdmissiblePrecheckMatchesAddQuery(t *testing.T) {
 	r.Close()
 	if err := r.Admissible("q3", "other"); err == nil {
 		t.Fatal("closed registry: want error")
+	}
+}
+
+func TestSourceNamesAndName(t *testing.T) {
+	r := NewRegistry(Options{})
+	r.Source("zeta")
+	r.Source("alpha")
+	r.Source("alpha") // idempotent
+	got := r.SourceNames()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("SourceNames = %v, want [alpha zeta]", got)
+	}
+	if n := r.Source("alpha").Name(); n != "alpha" {
+		t.Fatalf("Name = %q", n)
+	}
+}
+
+func TestTenantsRollup(t *testing.T) {
+	r := NewRegistry(Options{})
+	for _, q := range []*Query{
+		{Name: "a1", Tenant: "acme"},
+		{Name: "a2", Tenant: "acme"},
+		{Name: "b1", Tenant: "beta"},
+		{Name: "c1"}, // empty tenant rolls up under ""
+	} {
+		if err := r.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Tenants()
+	if len(got) != 3 || got["acme"] != 2 || got["beta"] != 1 || got[""] != 1 {
+		t.Fatalf("Tenants = %v", got)
+	}
+	// The map is a copy: mutating it must not corrupt the registry.
+	got["acme"] = 99
+	if r.Tenants()["acme"] != 2 {
+		t.Fatal("Tenants returned a live reference")
+	}
+	// Removal drains the count; the last query of a tenant deletes the
+	// entry entirely.
+	r.RemoveQuery("a1")
+	r.RemoveQuery("b1")
+	got = r.Tenants()
+	if got["acme"] != 1 {
+		t.Fatalf("acme = %d after removal, want 1", got["acme"])
+	}
+	if _, ok := got["beta"]; ok {
+		t.Fatalf("beta lingers after its last query: %v", got)
+	}
+}
+
+func TestAdmissionErrorStrings(t *testing.T) {
+	qe := &QuotaError{Tenant: "acme", Limit: 2}
+	if s := qe.Error(); s != `fleet: tenant "acme" at query quota (2)` {
+		t.Fatalf("QuotaError = %q", s)
+	}
+	de := &DuplicateError{Name: "q1"}
+	if s := de.Error(); s != `fleet: query "q1" already registered` {
+		t.Fatalf("DuplicateError = %q", s)
+	}
+}
+
+func TestPublishOnClosedSourceAndRegistry(t *testing.T) {
+	r := NewRegistry(Options{})
+	s := r.Source("s1")
+	r.Close()
+	if err := s.PublishProv(dataItems(0, 1), stream.BatchProv{}); !errors.Is(err, fanout.ErrClosed) {
+		t.Fatalf("publish on closed source = %v, want ErrClosed", err)
+	}
+	if err := r.Publish("s1", "t", dataItems(0, 1), stream.BatchProv{}); err == nil {
+		t.Fatal("publish on closed registry must fail")
+	}
+	if err := r.AddQuery(&Query{Name: "late"}); err == nil {
+		t.Fatal("admission on closed registry must fail")
+	}
+	if err := r.Admissible("late", "t"); err == nil {
+		t.Fatal("admissible on closed registry must fail")
+	}
+	// Double-close of both the registry and the source is a no-op.
+	r.Close()
+	s.close()
+}
+
+func TestPublishEmptyAndFullyShedBatches(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(Options{Quotas: Quotas{MaxIngestPerSec: 1}, Clock: clk})
+	s := r.Source("s1")
+	sub := s.Attach("q")
+
+	if err := s.Publish(nil); err != nil {
+		t.Fatalf("empty publish: %v", err)
+	}
+	// Burst capacity is one token: the first data tuple drains it, a
+	// same-instant follow-up batch sheds entirely and publishes nothing.
+	if err := s.Publish(dataItems(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(dataItems(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RateShed(); got != 3 {
+		t.Fatalf("RateShed = %d, want 3", got)
+	}
+	if got := s.Tuples(); got != 1 {
+		t.Fatalf("Tuples = %d, want 1", got)
+	}
+	s.close()
+	vals := drainSub(t, sub)
+	if len(vals) != 1 {
+		t.Fatalf("ring carried %d tuples, want 1 (fully-shed batch must publish nothing)", len(vals))
+	}
+}
+
+func TestRemoveQueryWithoutStopHook(t *testing.T) {
+	r := NewRegistry(Options{})
+	if err := r.AddQuery(&Query{Name: "bare", Tenant: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.RemoveQuery("bare") {
+		t.Fatal("existing query not removed")
+	}
+	if r.RemoveQuery("bare") {
+		t.Fatal("second removal reported success")
+	}
+	if r.Query("bare") != nil {
+		t.Fatal("query still resolvable")
+	}
+}
+
+func TestSourceMetricsRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	r := NewRegistry(Options{Quotas: Quotas{MaxIngestPerSec: 2}, Clock: clk, Metrics: reg})
+	s := r.Source("sensors")
+	if err := s.Publish(dataItems(0, 4)); err != nil { // 2 admitted, 2 shed
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`aq_source_tuples_total{source="sensors"} 2`,
+		`aq_source_rate_shed_total{source="sensors"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
 	}
 }

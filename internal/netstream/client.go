@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/resilience"
 	"repro/internal/stream"
@@ -33,9 +34,18 @@ type Client struct {
 	Retry resilience.Retry
 	// Dial overrides the dialer (tests); nil uses net.Dial("tcp", Addr).
 	Dial func() (net.Conn, error)
+	// Provenance stamps each Send with a batch mark (`B <id> <sendms>`)
+	// so the server can measure true client-send→emission latency and
+	// attribute replay spans. Off by default: v1 servers reject the
+	// unknown frame.
+	Provenance bool
+	// NowMS supplies the batch mark's send timestamp in Unix ms; nil
+	// uses time.Now. Tests inject fixed clocks.
+	NowMS func() int64
 
 	conn     net.Conn
 	buf      []byte
+	batchID  uint64
 	redials  atomic.Int64
 	itemsOut atomic.Int64
 }
@@ -70,9 +80,20 @@ func (c *Client) connect() error {
 
 // Send writes one batch of items, redialing under the retry policy when
 // the connection is down or the write fails. On success every item frame
-// reached the kernel on a single connection, preceded by a hello.
+// reached the kernel on a single connection, preceded by a hello. With
+// Provenance on, the batch is prefixed by a mark carrying a fresh batch
+// id and the send time; the buffer is built once, so a redial resends
+// the identical mark — the duplicated id is the server's replay signal.
 func (c *Client) Send(ctx context.Context, items []stream.Item) error {
 	c.buf = c.buf[:0]
+	if c.Provenance {
+		c.batchID++
+		now := c.NowMS
+		if now == nil {
+			now = func() int64 { return time.Now().UnixMilli() }
+		}
+		c.buf = AppendBatchMark(c.buf, stream.BatchProv{BatchID: c.batchID, SendMS: now()})
+	}
 	for _, it := range items {
 		c.buf = AppendItem(c.buf, it)
 	}

@@ -19,6 +19,7 @@ type Decoder struct {
 	tenant string
 	hello  bool
 	frames int64
+	prov   stream.BatchProv // current batch mark; zero until one arrives
 }
 
 // NewDecoder wraps r. The internal buffer is sized for MaxLine, so
@@ -36,6 +37,11 @@ func (d *Decoder) Tenant() string { return d.tenant }
 
 // Frames returns how many non-empty frames were decoded.
 func (d *Decoder) Frames() int64 { return d.frames }
+
+// Prov returns the wire provenance currently in effect: the most recent
+// batch mark, or the zero BatchProv (Valid() == false) when the
+// producer is a v1 client that never sends marks.
+func (d *Decoder) Prov() stream.BatchProv { return d.prov }
 
 // readLine returns the next line without its newline. io.EOF means a
 // clean end (no partial line pending).
@@ -111,6 +117,10 @@ func (d *Decoder) Next() (stream.Item, bool, error) {
 			continue
 		case FrameHello:
 			return stream.Item{}, false, fmt.Errorf("netstream: duplicate hello mid-stream")
+		case FrameBatchMark:
+			d.prov = f.Prov
+			d.frames++
+			continue
 		default:
 			d.frames++
 			return f.Item, true, nil

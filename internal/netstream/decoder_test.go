@@ -1,6 +1,7 @@
 package netstream
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -75,5 +76,54 @@ func TestDecoderOverlongLine(t *testing.T) {
 	d := NewDecoder(strings.NewReader("S a\nD " + strings.Repeat("9", 2*MaxLine) + "\n"))
 	if _, err := d.ReadAll(); err == nil {
 		t.Fatal("want error for over-long line")
+	}
+}
+
+func TestDecoderTracksBatchMarks(t *testing.T) {
+	var buf []byte
+	buf = AppendHello(buf, "s1", "")
+	buf = AppendItem(buf, stream.HeartbeatItem(1)) // before any mark: zero prov
+	buf = AppendBatchMark(buf, stream.BatchProv{BatchID: 1, SendMS: 100})
+	buf = AppendItem(buf, stream.DataItem(stream.Tuple{TS: 1, Arrival: 1, Seq: 1, Value: 1}))
+	buf = AppendItem(buf, stream.DataItem(stream.Tuple{TS: 2, Arrival: 2, Seq: 2, Value: 2}))
+	buf = AppendBatchMark(buf, stream.BatchProv{BatchID: 2, SendMS: 250})
+	buf = AppendItem(buf, stream.DataItem(stream.Tuple{TS: 3, Arrival: 3, Seq: 3, Value: 3}))
+
+	d := NewDecoder(bytes.NewReader(buf))
+	var provs []stream.BatchProv
+	for {
+		_, ok, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		provs = append(provs, d.Prov())
+	}
+	want := []stream.BatchProv{
+		{},
+		{BatchID: 1, SendMS: 100},
+		{BatchID: 1, SendMS: 100},
+		{BatchID: 2, SendMS: 250},
+	}
+	if len(provs) != len(want) {
+		t.Fatalf("got %d items, want %d", len(provs), len(want))
+	}
+	for i := range want {
+		if provs[i] != want[i] {
+			t.Fatalf("item %d prov = %+v, want %+v", i, provs[i], want[i])
+		}
+	}
+	if !provs[1].Valid() || provs[0].Valid() {
+		t.Fatal("Valid() wrong on zero/non-zero prov")
+	}
+}
+
+func TestDecoderRejectsBatchMarkBeforeHello(t *testing.T) {
+	buf := AppendBatchMark(nil, stream.BatchProv{BatchID: 1, SendMS: 5})
+	d := NewDecoder(bytes.NewReader(buf))
+	if err := d.Hello(); err == nil {
+		t.Fatal("batch mark before hello should be a protocol error")
 	}
 }

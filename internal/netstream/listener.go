@@ -16,10 +16,12 @@ import (
 type Sink interface {
 	// Publish delivers one in-order batch from a connection feeding the
 	// named source. The slice is reused after Publish returns, so
-	// implementations must copy what they keep. A returned error
-	// terminates the connection (the client's retry policy decides
-	// whether to reconnect).
-	Publish(source, tenant string, items []stream.Item) error
+	// implementations must copy what they keep. prov carries the wire
+	// provenance in effect for every item of the batch (the zero value
+	// for v1 producers); the listener never mixes items under different
+	// marks in one Publish. A returned error terminates the connection
+	// (the client's retry policy decides whether to reconnect).
+	Publish(source, tenant string, items []stream.Item, prov stream.BatchProv) error
 }
 
 // connBatch bounds how many decoded items one Publish carries.
@@ -142,11 +144,12 @@ func (l *Listener) serve(c net.Conn) {
 	}
 	source, tenant := d.Source(), d.Tenant()
 	batch := make([]stream.Item, 0, connBatch)
+	prov := d.Prov()
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
-		if err := l.sink.Publish(source, tenant, batch); err != nil {
+		if err := l.sink.Publish(source, tenant, batch, prov); err != nil {
 			l.rejected.Add(1)
 			l.log.Warn("netstream: sink rejected batch; closing connection",
 				"source", source, "remote", c.RemoteAddr().String(), "err", err)
@@ -168,6 +171,14 @@ func (l *Listener) serve(c net.Conn) {
 		if !ok {
 			flush()
 			return
+		}
+		// A new batch mark must not relabel items decoded under the old
+		// one: flush the pending batch before adopting it.
+		if p := d.Prov(); p != prov {
+			if !flush() {
+				return
+			}
+			prov = p
 		}
 		batch = append(batch, it)
 		if len(batch) >= connBatch || !d.Buffered() {

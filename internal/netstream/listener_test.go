@@ -18,21 +18,27 @@ import (
 type memSink struct {
 	mu     sync.Mutex
 	items  map[string][]stream.Item
+	provs  map[string][]stream.BatchProv // one entry per Publish call
 	tenant map[string]string
 	err    error // returned from Publish when set
 }
 
 func newMemSink() *memSink {
-	return &memSink{items: make(map[string][]stream.Item), tenant: make(map[string]string)}
+	return &memSink{
+		items:  make(map[string][]stream.Item),
+		provs:  make(map[string][]stream.BatchProv),
+		tenant: make(map[string]string),
+	}
 }
 
-func (s *memSink) Publish(source, tenant string, items []stream.Item) error {
+func (s *memSink) Publish(source, tenant string, items []stream.Item, prov stream.BatchProv) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
 	s.items[source] = append(s.items[source], items...) // copies: append clones into our backing array
+	s.provs[source] = append(s.provs[source], prov)
 	s.tenant[source] = tenant
 	return nil
 }
@@ -248,5 +254,73 @@ func TestClientRetryBudgetExhausts(t *testing.T) {
 	}
 	if c.Redials() == 0 {
 		t.Fatal("expected redial attempts to be counted")
+	}
+}
+
+func TestListenerCarriesWireProvenance(t *testing.T) {
+	sink := newMemSink()
+	l, err := Listen("127.0.0.1:0", sink, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	now := int64(1754640000000)
+	c := &Client{Addr: l.Addr().String(), Source: "s1", Provenance: true,
+		NowMS: func() int64 { return now }}
+	defer c.Close()
+	items := testItems(20)
+	if err := c.Send(context.Background(), items[:10]); err != nil {
+		t.Fatal(err)
+	}
+	now += 500
+	if err := c.Send(context.Background(), items[10:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all items", func() bool { return sink.count("s1") == 20 })
+
+	sink.mu.Lock()
+	provs := append([]stream.BatchProv(nil), sink.provs["s1"]...)
+	sink.mu.Unlock()
+	// The listener may split a send into several publishes, but every
+	// publish must carry a valid mark and the ids must step 1 → 2 at the
+	// timestamp boundary.
+	if len(provs) == 0 {
+		t.Fatal("no publishes recorded")
+	}
+	seen := map[uint64]int64{}
+	for i, p := range provs {
+		if !p.Valid() {
+			t.Fatalf("publish %d carried no provenance: %+v", i, p)
+		}
+		if prev, ok := seen[p.BatchID]; ok && prev != p.SendMS {
+			t.Fatalf("batch id %d seen with two send times", p.BatchID)
+		}
+		seen[p.BatchID] = p.SendMS
+	}
+	if len(seen) != 2 || seen[1] != 1754640000000 || seen[2] != 1754640000500 {
+		t.Fatalf("batch marks wrong: %v", seen)
+	}
+}
+
+func TestListenerV1ClientHasZeroProvenance(t *testing.T) {
+	sink := newMemSink()
+	l, err := Listen("127.0.0.1:0", sink, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c := &Client{Addr: l.Addr().String(), Source: "s1"} // Provenance off
+	defer c.Close()
+	if err := c.Send(context.Background(), testItems(5)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "items", func() bool { return sink.count("s1") == 5 })
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, p := range sink.provs["s1"] {
+		if p.Valid() {
+			t.Fatalf("v1 client produced provenance: %+v", p)
+		}
 	}
 }

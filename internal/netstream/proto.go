@@ -12,12 +12,22 @@
 //	                                         first frame
 //	D <ts> <arrival> <seq> <key> <src> <value>   one data tuple
 //	H <watermark>                            heartbeat / watermark
+//	B <batchid> <sendms>                     optional batch provenance:
+//	                                         client batch id + wall-clock
+//	                                         send time (Unix ms) for every
+//	                                         following item until the next
+//	                                         B frame
 //	# ...                                    comment, ignored
 //
 // Blank lines are ignored. ts/arrival/watermark are stream-time ms
 // (int64), seq and key are uint64, src is uint8, value is a float64
 // formatted with %g at full precision so decoding round-trips the bits.
-// docs/API.md has the full grammar and a walkthrough.
+// The B frame is a v2 extension: v1 producers simply never send it and
+// v1 consumers never see it (the decoder swallows it), so the two
+// protocol generations interoperate both ways. batchid is a uint64 ≥ 1;
+// a replayed batch (reconnect resend) reuses its original id, which is
+// how replay spans become visible server-side. docs/API.md has the full
+// grammar and a walkthrough.
 package netstream
 
 import (
@@ -39,14 +49,18 @@ const (
 	FrameData
 	// FrameHeartbeat carries a watermark in Item.
 	FrameHeartbeat
+	// FrameBatchMark carries wire provenance in Prov: it applies to
+	// every following item frame until the next mark.
+	FrameBatchMark
 )
 
 // Frame is one decoded protocol line.
 type Frame struct {
 	Kind   FrameKind
-	Item   stream.Item // FrameData / FrameHeartbeat
-	Source string      // FrameHello
-	Tenant string      // FrameHello, optional
+	Item   stream.Item      // FrameData / FrameHeartbeat
+	Source string           // FrameHello
+	Tenant string           // FrameHello, optional
+	Prov   stream.BatchProv // FrameBatchMark
 }
 
 // MaxLine bounds one protocol line; longer lines are a protocol error
@@ -108,6 +122,15 @@ func AppendItem(dst []byte, it stream.Item) []byte {
 	dst = strconv.AppendUint(dst, uint64(t.Src), 10)
 	dst = append(dst, ' ')
 	dst = strconv.AppendFloat(dst, t.Value, 'g', -1, 64)
+	return append(dst, '\n')
+}
+
+// AppendBatchMark appends a batch-provenance frame (newline included).
+func AppendBatchMark(dst []byte, p stream.BatchProv) []byte {
+	dst = append(dst, 'B', ' ')
+	dst = strconv.AppendUint(dst, p.BatchID, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, p.SendMS, 10)
 	return append(dst, '\n')
 }
 
@@ -173,6 +196,22 @@ func ParseLine(line []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("netstream: bad watermark %q", fs[1])
 		}
 		return Frame{Kind: FrameHeartbeat, Item: stream.HeartbeatItem(stream.Time(w))}, nil
+	case "B":
+		if len(fs) != 3 {
+			return Frame{}, fmt.Errorf("netstream: batch mark wants 'B <batchid> <sendms>', got %d fields", len(fs))
+		}
+		id, err := strconv.ParseUint(string(fs[1]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad batch id %q", fs[1])
+		}
+		if id == 0 {
+			return Frame{}, fmt.Errorf("netstream: batch id must be >= 1")
+		}
+		send, err := strconv.ParseInt(string(fs[2]), 10, 64)
+		if err != nil {
+			return Frame{}, fmt.Errorf("netstream: bad send time %q", fs[2])
+		}
+		return Frame{Kind: FrameBatchMark, Prov: stream.BatchProv{BatchID: id, SendMS: send}}, nil
 	case "D":
 		if len(fs) != 7 {
 			return Frame{}, fmt.Errorf("netstream: data wants 'D <ts> <arrival> <seq> <key> <src> <value>', got %d fields", len(fs))

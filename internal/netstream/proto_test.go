@@ -53,23 +53,23 @@ func TestHelloRoundTrip(t *testing.T) {
 
 func TestParseLineRejectsMalformed(t *testing.T) {
 	bad := []string{
-		"D 1 2 3",                 // too few fields
-		"D 1 2 3 4 5 6 7",        // too many fields
-		"D x 2 3 4 5 6",          // bad ts
-		"D 1 2 3 4 999 6",        // src out of uint8 range
-		"D 1 2 3 4 5 notafloat",  // bad value
-		"D 1  2 3 4 5 6",         // double space
-		" D 1 2 3 4 5 6",         // leading space
-		"H",                      // missing watermark
-		"H abc",                  // bad watermark
-		"S",                      // missing source
-		"S two words extra",      // too many fields
-		"S bad/name",             // invalid source character
-		"S ok bad/tenant",        // invalid tenant character
-		"X 1 2",                  // unknown frame type
-		"d 1 2 3 4 5 6",          // frame types are case-sensitive
+		"D 1 2 3",                                // too few fields
+		"D 1 2 3 4 5 6 7",                        // too many fields
+		"D x 2 3 4 5 6",                          // bad ts
+		"D 1 2 3 4 999 6",                        // src out of uint8 range
+		"D 1 2 3 4 5 notafloat",                  // bad value
+		"D 1  2 3 4 5 6",                         // double space
+		" D 1 2 3 4 5 6",                         // leading space
+		"H",                                      // missing watermark
+		"H abc",                                  // bad watermark
+		"S",                                      // missing source
+		"S two words extra",                      // too many fields
+		"S bad/name",                             // invalid source character
+		"S ok bad/tenant",                        // invalid tenant character
+		"X 1 2",                                  // unknown frame type
+		"d 1 2 3 4 5 6",                          // frame types are case-sensitive
 		"S " + strings.Repeat("a", MaxNameLen+1), // name too long
-		"D " + strings.Repeat("1", MaxLine), // over-long line
+		"D " + strings.Repeat("1", MaxLine),      // over-long line
 	}
 	for _, in := range bad {
 		if _, err := ParseLine([]byte(in)); err == nil {
@@ -103,6 +103,30 @@ func TestValidName(t *testing.T) {
 	for _, n := range bad {
 		if ValidName(n) {
 			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestBatchMarkRoundTrip(t *testing.T) {
+	p := stream.BatchProv{BatchID: 18446744073709551615, SendMS: 1754640000123}
+	line := AppendBatchMark(nil, p)
+	f, err := ParseLine(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameBatchMark || f.Prov != p {
+		t.Fatalf("batch mark mismatch: %+v", f)
+	}
+	for _, bad := range []string{
+		"B 1",     // too few fields
+		"B 1 2 3", // too many fields
+		"B x 2",   // bad id
+		"B 0 2",   // zero id reserved for "no provenance"
+		"B 1 y",   // bad send time
+		"B -1 2",  // negative id
+	} {
+		if _, err := ParseLine([]byte(bad)); err == nil {
+			t.Fatalf("ParseLine(%q) accepted malformed batch mark", bad)
 		}
 	}
 }

@@ -327,6 +327,17 @@ func (t *Tracer) FanoutPublish(at int64, seq int64, n int) {
 	t.rec.Record(Event{At: at, Kind: KindFanoutPublish, Stage: StageSource, Win: seq, N: int64(n)})
 }
 
+// WireBatch records a wire-provenance mark arriving at the receiver:
+// batchID is the client's batch id (a repeated id marks a reconnect
+// replay span), n the items delivered under it, sendMS the client's
+// send wall-clock (Unix ms, carried in V). At is wall milliseconds.
+func (t *Tracer) WireBatch(at int64, batchID uint64, n int, sendMS int64) {
+	if t == nil {
+		return
+	}
+	t.rec.Record(Event{At: at, Kind: KindWireBatch, Stage: StageSource, Win: int64(batchID), N: int64(n), V: float64(sendMS)})
+}
+
 // Log mirrors one structured-log record into the recorder. At is wall
 // milliseconds (log records happen outside stream time).
 func (t *Tracer) Log(at int64, msg string) {

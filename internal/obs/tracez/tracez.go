@@ -60,6 +60,7 @@ const (
 	KindRecovery          // crash recovery completed; N = replayed items, Win = emit floor, V = truncated bytes
 	KindSnapshot          // durable snapshot written; N = journal records covered
 	KindFanoutPublish     // shared-source ring published a batch; Win = ring seq, N = data tuples
+	KindWireBatch         // wire-provenance mark observed at the receiver; Win = batch id, N = items, V = client send time (Unix ms)
 )
 
 // String names the kind (stable — the Chrome exporter and dumps use it).
@@ -105,6 +106,8 @@ func (k Kind) String() string {
 		return "snapshot"
 	case KindFanoutPublish:
 		return "fanout-publish"
+	case KindWireBatch:
+		return "wire-batch"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,22 @@
+package stream
+
+// BatchProv is side-band, per-batch wire provenance: metadata a client
+// stamps on a batch of items before it crosses the network, carried
+// alongside (never inside) the items through the ingest path. It is
+// deliberately not part of Item — the deterministic-simulation digests
+// hash every Item field, and provenance is an observability concern,
+// not stream data.
+type BatchProv struct {
+	// BatchID is the client-assigned batch sequence number, starting
+	// at 1. Replayed batches (reconnect resend) reuse their original
+	// id, which is how replay spans show up in traces.
+	BatchID uint64
+	// SendMS is the client's wall-clock send time in Unix
+	// milliseconds. The server subtracts it from emission time to get
+	// true client-send→emission latency across the network hop.
+	SendMS int64
+}
+
+// Valid reports whether the provenance carries real data (a zero
+// BatchProv means "no provenance on this batch").
+func (p BatchProv) Valid() bool { return p.BatchID != 0 }
